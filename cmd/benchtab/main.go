@@ -1,0 +1,83 @@
+// Command benchtab regenerates the paper's tables and figures as readable
+// text tables (the same experiments the root benchmarks run). Usage:
+//
+//	benchtab -exp all
+//	benchtab -exp e3 -messages 1000 -seed 7
+//
+// Experiment IDs follow DESIGN.md: e1 (Table 1), e2 (Fig 2), e3 (Fig 3:
+// loss sweep + alert fan-out + back-pressure), e4 (Fig 4 pilot), a1
+// (buffer placement), a2 (HOL blocking), a4 (capacity planning), a5
+// (deadline-aware AQM), a6 (buffer sizing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: e1,e2,e3,e4,a1,a2,a4,a5,a6 or all")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	messages := flag.Int("messages", 1000, "messages per run")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	section := func(id, title string, run func()) {
+		if !all && !want[id] {
+			return
+		}
+		ran++
+		fmt.Printf("=== %s — %s ===\n", strings.ToUpper(id), title)
+		run()
+		fmt.Println()
+	}
+
+	section("e1", "Table 1: DAQ rates (generators at 1/1000 scale)", func() {
+		fmt.Print(experiments.E1TableString(experiments.E1Table1(1000, *messages, *seed)))
+	})
+	section("e2", "Fig 2: today's transport chain, measured", func() {
+		res := experiments.E2Fig2Baseline(experiments.E2Config{Seed: *seed, Messages: *messages, WANLoss: 1e-3})
+		fmt.Print(res.Table())
+	})
+	section("e3", "Fig 3: multi-modal transport vs today's chain", func() {
+		fmt.Println("-- flow completion under WAN loss --")
+		fmt.Print(experiments.E3LossTable(experiments.E3LossSweep(nil, *messages, *seed)))
+		fmt.Println("\n-- multi-domain alert distribution --")
+		fmt.Print(experiments.E3AlertFanout(*messages/2, *seed).Table())
+		fmt.Println("\n-- back-pressure at a 1 Gbps bottleneck --")
+		fmt.Print(experiments.E3BackPressure(2*(*messages), *seed).Table())
+	})
+	section("e4", "Fig 4 / §5.4: pilot study", func() {
+		fmt.Print(experiments.E4Table(experiments.E4Pilot(*messages, *seed)))
+	})
+	section("a1", "Ablation: retransmission-buffer placement", func() {
+		fmt.Print(experiments.A1Table(experiments.A1BufferPlacement(nil, *messages, 5e-3, *seed)))
+	})
+	section("a2", "Ablation: head-of-line blocking", func() {
+		fmt.Print(experiments.A2HOLBlocking(5e-3, *messages, *seed).Table())
+	})
+	section("a4", "Ablation: capacity-planned coexistence", func() {
+		fmt.Print(experiments.A4CapacityPlanning(2*(*messages), *seed).Table())
+	})
+	section("a5", "Ablation: deadline-aware AQM", func() {
+		fmt.Print(experiments.A5DeadlineAQM(*messages, *seed).Table())
+	})
+	section("a6", "Ablation: retransmission-buffer sizing", func() {
+		fmt.Print(experiments.A6Table(experiments.A6BufferSizing(nil, 10*(*messages), *seed)))
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1,e2,e3,e4,a1,a2,a4,a5,a6 or all)\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,139 @@
+// Command daqgen synthesises DAQ workloads to a file or prints their
+// statistics — the stand-in for the ICEBERG traffic samples and the
+// synthetic DUNE data [69] used by the paper's pilot. Examples:
+//
+//	daqgen -source lartpc -n 1000 -stats
+//	daqgen -source supernova -out burst.daq
+//	daqgen -source rubin -n 200 -stats
+//
+// The output format is a stream of length-prefixed records: 8-byte
+// big-endian emission time (ns) + 4-byte big-endian length + the framed
+// DAQ message.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/daq"
+	"repro/internal/h5lite"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	source := flag.String("source", "lartpc", "workload: lartpc, supernova, rubin, mu2e, generic")
+	n := flag.Uint64("n", 1000, "records to generate (bursts may produce fewer)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	slice := flag.Uint("slice", 0, "instrument slice (Req 8)")
+	out := flag.String("out", "", "output file (omit for no output)")
+	h5 := flag.String("h5", "", "also transcode into an h5lite container at this path (§6: HDF5-style storage)")
+	stats := flag.Bool("stats", false, "print workload statistics")
+	flag.Parse()
+
+	var src daq.Source
+	switch *source {
+	case "lartpc":
+		src = daq.NewLArTPC(daq.DefaultLArTPC(uint8(*slice), *n, *seed))
+	case "supernova":
+		cfg := daq.DefaultSupernova(*seed)
+		cfg.Slice = uint8(*slice)
+		src = daq.NewSupernova(cfg)
+	case "rubin":
+		cfg := daq.DefaultRubin(*n, *seed)
+		cfg.Slice = uint8(*slice)
+		src = daq.NewRubin(cfg)
+	case "mu2e":
+		src = daq.NewPoisson(daq.PoissonConfig{
+			Slice: uint8(*slice), Detector: daq.DetMu2e,
+			MeanRateHz: 100_000, MessageSize: 2048, Count: *n, Seed: *seed,
+		})
+	case "generic":
+		src = daq.NewGeneric(daq.GenericConfig{
+			Slice: uint8(*slice), MessageSize: 7680,
+			Interval: 10 * time.Microsecond, Count: *n, Seed: *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "daqgen: unknown source %q\n", *source)
+		os.Exit(2)
+	}
+
+	var w *bufio.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "daqgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+		defer w.Flush()
+	}
+
+	var arch *h5lite.Archiver
+	if *h5 != "" {
+		arch = h5lite.NewArchiver(true)
+	}
+	var (
+		count     uint64
+		bytes     uint64
+		last      time.Duration
+		sizes     = telemetry.NewHistogram()
+		triggered uint64
+	)
+	var hdr [12]byte
+	for {
+		rec, ok := src.Next()
+		if !ok || (*n > 0 && count >= *n) {
+			break
+		}
+		count++
+		bytes += uint64(len(rec.Data))
+		last = rec.At
+		sizes.Observe(int64(len(rec.Data)))
+		if rec.Flags&daq.FlagTriggered != 0 {
+			triggered++
+		}
+		if arch != nil {
+			if err := arch.Archive(rec.Data); err != nil {
+				fmt.Fprintln(os.Stderr, "daqgen: archive:", err)
+				os.Exit(1)
+			}
+		}
+		if w != nil {
+			binary.BigEndian.PutUint64(hdr[0:8], uint64(rec.At))
+			binary.BigEndian.PutUint32(hdr[8:12], uint32(len(rec.Data)))
+			if _, err := w.Write(hdr[:]); err != nil {
+				fmt.Fprintln(os.Stderr, "daqgen:", err)
+				os.Exit(1)
+			}
+			if _, err := w.Write(rec.Data); err != nil {
+				fmt.Fprintln(os.Stderr, "daqgen:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if arch != nil {
+		if err := os.WriteFile(*h5, arch.File.Encode(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "daqgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("h5lite:    %d messages → %s\n", arch.Archived, *h5)
+	}
+	if *stats || *out == "" {
+		rate := 0.0
+		if last > 0 {
+			rate = float64(bytes*8) / last.Seconds()
+		}
+		fmt.Printf("source:    %s (seed %d, slice %d)\n", *source, *seed, *slice)
+		fmt.Printf("records:   %d (%d triggered)\n", count, triggered)
+		fmt.Printf("bytes:     %d over %v\n", bytes, last)
+		fmt.Printf("rate:      %.3f Gbps\n", rate/1e9)
+		fmt.Printf("msg bytes: min %d  p50 %d  max %d\n",
+			sizes.Min(), sizes.Quantile(0.5), sizes.Max())
+	}
+}

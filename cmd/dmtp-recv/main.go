@@ -1,0 +1,54 @@
+// Command dmtp-recv runs the live-path destination: loss detection, NAK
+// recovery from the relay's buffer, the destination timeliness check, and
+// delivery accounting.
+//
+//	dmtp-recv -listen 127.0.0.1:17581
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/live"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:17581", "UDP listen address")
+	verbose := flag.Bool("v", false, "log each message")
+	flag.Parse()
+
+	recv, err := live.NewReceiver(live.ReceiverConfig{
+		Listen: *listen,
+		OnMessage: func(m live.Message) {
+			if *verbose {
+				fmt.Printf("%v seq %d: %d bytes, latency %v, aged=%v late=%v recovered=%v\n",
+					m.Experiment, m.Seq, len(m.Payload), m.Latency, m.Aged, m.Late, m.Recovered)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmtp-recv:", err)
+		os.Exit(1)
+	}
+	defer recv.Close()
+	fmt.Printf("dmtp-recv: listening on %s\n", recv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			st := recv.Stats()
+			fmt.Printf("delivered %d  recovered %d  lost %d  naks %d  aged %d  late %d  | latency %v\n",
+				st.Delivered, st.Recovered, st.Lost, st.NAKsSent, st.Aged, st.Late, recv.LatencyHist)
+		case <-sig:
+			fmt.Printf("\nfinal: %+v\n", recv.Stats())
+			return
+		}
+	}
+}

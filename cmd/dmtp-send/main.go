@@ -1,0 +1,57 @@
+// Command dmtp-send streams a synthetic DAQ workload as mode-0 DMTP
+// datagrams toward a relay — the live-path instrument source.
+//
+//	dmtp-send -to 127.0.0.1:17580 -n 1000 -rate 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/daq"
+	"repro/internal/live"
+)
+
+func main() {
+	to := flag.String("to", "127.0.0.1:17580", "relay address")
+	n := flag.Uint64("n", 1000, "messages to send")
+	experiment := flag.Uint("experiment", 777, "24-bit experiment number")
+	slice := flag.Uint("slice", 0, "instrument slice")
+	size := flag.Int("size", 7680, "message payload bytes")
+	rate := flag.Float64("rate", 1000, "messages per second")
+	flag.Parse()
+
+	snd, err := live.NewSender(*to, uint32(*experiment))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmtp-send:", err)
+		os.Exit(1)
+	}
+	defer snd.Close()
+
+	src := daq.NewGeneric(daq.GenericConfig{
+		Slice:       uint8(*slice),
+		MessageSize: *size,
+		Interval:    time.Duration(float64(time.Second) / *rate),
+		Count:       *n,
+		Seed:        time.Now().UnixNano(),
+	})
+	start := time.Now()
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if sleep := rec.At - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if err := snd.Send(rec.Data, rec.Slice); err != nil {
+			fmt.Fprintln(os.Stderr, "dmtp-send:", err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("dmtp-send: %d messages (%d bytes each) in %v from %s\n",
+		snd.Sent(), *size, elapsed.Round(time.Millisecond), snd.LocalAddr())
+}

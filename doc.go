@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Shape-shifting
+// Elephants: Multi-modal Transport for Integrated Research Infrastructure"
+// (HotNets '24): the DMTP multi-modal DAQ transport protocol, the simulated
+// network and programmable-data-plane substrate it runs on, synthetic
+// detector workloads, TCP/UDP baselines, a live UDP-socket path, and the
+// benchmark harness regenerating every table and figure of the paper.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root package holds only the repository-level benchmarks
+// (bench_test.go); the implementation lives under internal/.
+package repro

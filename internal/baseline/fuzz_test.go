@@ -1,0 +1,23 @@
+package baseline
+
+import "testing"
+
+func FuzzDecodeSegment(f *testing.F) {
+	seg := Segment{Type: SegData, FlowID: 2, Seq: 100, Payload: []byte("payload")}
+	if enc, err := seg.AppendTo(nil); err == nil {
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSegment(b)
+		if err != nil {
+			return
+		}
+		re, err := s.AppendTo(nil)
+		if err != nil {
+			t.Fatalf("decoded segment failed to encode: %v", err)
+		}
+		if len(re) > len(b) {
+			t.Fatal("re-encode grew beyond input")
+		}
+	})
+}

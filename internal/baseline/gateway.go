@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Gateway is the first line of servers in today's chain (Fig. 2 stage ②):
+// it terminates the unreliable UDP leg from the sensors, buffers, and
+// streams onward over (tuned) TCP through the border router. Port 0 must
+// face the DAQ network, port 1 the WAN.
+type Gateway struct {
+	nw   *netsim.Network
+	node *netsim.Node
+	out  *TCPSender
+
+	// Ingested counts datagrams accepted from the DAQ leg.
+	Ingested uint64
+	// OnDatagram, if non-nil, observes each raw datagram before relay.
+	OnDatagram func(b []byte)
+}
+
+// NewGateway creates the gateway; dst is the TCP peer (storage site).
+func NewGateway(nw *netsim.Network, name string, addr, dst wire.Addr, flow uint16, cfg TCPConfig) *Gateway {
+	g := &Gateway{nw: nw}
+	g.node = nw.AddNode(name, addr, g)
+	g.out = newTCPSenderOn(nw, g.node, dst, flow, cfg)
+	g.out.sendFn = func(d wire.Addr, data []byte) {
+		g.node.Port(1).Send(&netsim.Frame{Src: g.node.Addr, Dst: d, Data: data, Born: nw.Now()})
+	}
+	return g
+}
+
+// Node returns the gateway's node.
+func (g *Gateway) Node() *netsim.Node { return g.node }
+
+// Out exposes the WAN-side TCP sender.
+func (g *Gateway) Out() *TCPSender { return g.out }
+
+// Close closes the TCP leg (after the DAQ stream ends).
+func (g *Gateway) Close() { g.out.Close() }
+
+// Attach implements netsim.Handler.
+func (g *Gateway) Attach(n *netsim.Node) { g.node = n }
+
+// HandleFrame implements netsim.Handler: baseline segments are TCP ACKs
+// for the WAN leg; anything else is a DAQ datagram to relay.
+func (g *Gateway) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
+	if len(f.Data) > 0 && f.Data[0] == SegMagic {
+		if seg, err := DecodeSegment(f.Data); err == nil && seg.Type == SegAck && seg.FlowID == g.out.flow {
+			g.out.OnAck(seg.Ack)
+		}
+		return
+	}
+	g.Ingested++
+	if g.OnDatagram != nil {
+		g.OnDatagram(f.Data)
+	}
+	g.out.Send(f.Data)
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// BufferConfig configures a first-line DTN buffer node (DTN 1 in Fig. 4).
+type BufferConfig struct {
+	// UpgradeFrom is the config ID of arriving sensor traffic (usually
+	// ModeBare's).
+	UpgradeFrom uint8
+	// Upgrade is the mode installed for the WAN crossing (usually ModeWAN).
+	Upgrade Mode
+	// Forward is the downstream destination (DTN 2).
+	Forward wire.Addr
+	// ForwardPort is the egress port toward the WAN; other ports face the
+	// DAQ network.
+	ForwardPort int
+	// MaxAge is the age budget installed into upgraded packets.
+	MaxAge time.Duration
+	// DeadlineBudget is the delivery deadline installed into upgraded
+	// packets; zero leaves the deadline unset even if the mode is timely.
+	DeadlineBudget time.Duration
+	// DeadlineNotify is where on-path elements report late packets
+	// (normally the sensor or an operations host).
+	DeadlineNotify wire.Addr
+	// BackPressureSink is where on-path elements send congestion signals
+	// (normally the sensor).
+	BackPressureSink wire.Addr
+	// CapacityBytes bounds the retransmission buffer; oldest packets are
+	// evicted first. Zero means 64 MiB.
+	CapacityBytes int
+	// Cipher, when non-nil and the upgrade mode includes FeatEncrypted,
+	// encrypts payloads at the DTN (Req 5; the sensor stays cheap).
+	Cipher   Cipher
+	KeyEpoch uint32
+	// Routes overrides egress for specific destinations (e.g. control
+	// traffic heading back into the DAQ network); everything else leaves
+	// via ForwardPort.
+	Routes map[wire.Addr]int
+	// StashTransit makes the node buffer sequenced data packets passing
+	// through it (not just ones it upgrades) and repoint their
+	// retransmission-buffer field to itself — the paper's "more 'recent'
+	// (lower RTT) retransmission buffer" (§1, §5.1): downstream receivers
+	// then recover from this closer node instead of the WAN entrance.
+	StashTransit bool
+}
+
+// BufferStats are cumulative buffer-node counters.
+type BufferStats struct {
+	Upgraded      uint64
+	Forwarded     uint64
+	Buffered      uint64
+	BufferedBytes uint64
+	Evicted       uint64
+	Trimmed       uint64 // dropped after cumulative ACK
+	NAKs          uint64
+	Retransmits   uint64
+	Misses        uint64 // NAKed sequence numbers no longer buffered
+	Repointed     uint64 // transit packets re-homed to this buffer
+}
+
+type bufKey struct {
+	exp wire.ExperimentID
+	seq uint64
+}
+
+// BufferNode is the first-line DTN: it upgrades sensor streams into the
+// WAN mode, assigns sequence numbers, buffers sequenced packets, and serves
+// retransmissions on NAK — the paper's "closer source" that shortens
+// recovery RTT relative to retransmitting from the instrument (§5.1).
+type BufferNode struct {
+	cfg  BufferConfig
+	node *netsim.Node
+	nw   *netsim.Network
+
+	Stats BufferStats
+
+	seqs  map[wire.ExperimentID]uint64
+	store map[bufKey][]byte
+	order []bufKey // FIFO for eviction
+	bytes int
+}
+
+// NewBufferNode creates a buffer node and registers it on the network.
+func NewBufferNode(nw *netsim.Network, name string, addr wire.Addr, cfg BufferConfig) *BufferNode {
+	b := NewBufferHandler(nw, cfg)
+	b.node = nw.AddNode(name, addr, b)
+	return b
+}
+
+// NewBufferHandler creates a buffer node without registering a node, for
+// callers that wrap it in a decorating handler (e.g. discovery.Wrap); the
+// node is bound via Attach when the wrapper is registered.
+func NewBufferHandler(nw *netsim.Network, cfg BufferConfig) *BufferNode {
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = 64 << 20
+	}
+	return &BufferNode{
+		cfg:   cfg,
+		nw:    nw,
+		seqs:  make(map[wire.ExperimentID]uint64),
+		store: make(map[bufKey][]byte),
+	}
+}
+
+// Node returns the buffer's network node.
+func (b *BufferNode) Node() *netsim.Node { return b.node }
+
+// Addr returns the buffer's address (what upgraded headers point at).
+func (b *BufferNode) Addr() wire.Addr { return b.node.Addr }
+
+// BufferedBytes returns current buffer occupancy.
+func (b *BufferNode) BufferedBytes() int { return b.bytes }
+
+// Attach implements netsim.Handler.
+func (b *BufferNode) Attach(n *netsim.Node) { b.node = n }
+
+// HandleFrame implements netsim.Handler.
+func (b *BufferNode) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
+	v := wire.View(f.Data)
+	if _, err := v.Check(); err != nil {
+		return
+	}
+	if v.IsControl() {
+		b.handleControl(ingress, f, v)
+		return
+	}
+	if f.Dst != b.node.Addr && !f.Dst.IsZero() {
+		// Transit data traffic: optionally adopt it (stash + repoint),
+		// then route onward.
+		if b.cfg.StashTransit {
+			b.adoptTransit(v)
+		}
+		b.forwardRaw(f)
+		return
+	}
+	if v.ConfigID() != b.cfg.UpgradeFrom {
+		// Already upgraded or an unknown mode: pass through downstream.
+		b.send(b.cfg.ForwardPort, b.cfg.Forward, f.Data)
+		b.Stats.Forwarded++
+		return
+	}
+	b.upgradeAndForward(v)
+}
+
+func (b *BufferNode) upgradeAndForward(v wire.View) {
+	up, err := v.Reshape(b.cfg.Upgrade.ConfigID, b.cfg.Upgrade.Features)
+	if err != nil {
+		return
+	}
+	feats := up.Features()
+	exp := up.Experiment()
+	var seq uint64
+	if feats.Has(wire.FeatSequenced) {
+		b.seqs[exp]++
+		seq = b.seqs[exp]
+		up.SetSeq(seq)
+	}
+	if feats.Has(wire.FeatReliable) {
+		up.SetRetransmitBuffer(b.node.Addr)
+	}
+	if feats.Has(wire.FeatAgeTracked) && b.cfg.MaxAge > 0 {
+		up.SetMaxAge(uint32(b.cfg.MaxAge / time.Microsecond))
+	}
+	if feats.Has(wire.FeatTimely) && b.cfg.DeadlineBudget > 0 {
+		up.SetDeadline(b.nw.Now().Add(b.cfg.DeadlineBudget).Nanos(), b.cfg.DeadlineNotify)
+	}
+	if feats.Has(wire.FeatBackPressure) {
+		off, err := feats.ExtOffset(wire.FeatBackPressure)
+		if err == nil {
+			ext := up[wire.CoreHeaderLen+off:]
+			copy(ext[:4], b.cfg.BackPressureSink.IP[:])
+			ext[4] = byte(b.cfg.BackPressureSink.Port >> 8)
+			ext[5] = byte(b.cfg.BackPressureSink.Port)
+		}
+	}
+	if feats.Has(wire.FeatTimestamped) {
+		if ts, err := up.OriginTimestamp(); err == nil && ts == 0 {
+			up.SetOriginTimestamp(b.nw.Now().Nanos())
+		}
+	}
+	if feats.Has(wire.FeatEncrypted) && b.cfg.Cipher != nil {
+		nonce := uint32(seq)
+		off, _ := feats.ExtOffset(wire.FeatEncrypted)
+		ext := up[wire.CoreHeaderLen+off:]
+		ext[0], ext[1], ext[2], ext[3] = byte(b.cfg.KeyEpoch>>24), byte(b.cfg.KeyEpoch>>16), byte(b.cfg.KeyEpoch>>8), byte(b.cfg.KeyEpoch)
+		ext[4], ext[5], ext[6], ext[7] = byte(nonce>>24), byte(nonce>>16), byte(nonce>>8), byte(nonce)
+		b.cfg.Cipher.Seal(b.cfg.KeyEpoch, nonce, up.Payload())
+	}
+	b.Stats.Upgraded++
+	if feats.Has(wire.FeatSequenced) {
+		b.stash(exp, seq, up)
+	}
+	b.send(b.cfg.ForwardPort, b.cfg.Forward, up)
+	b.Stats.Forwarded++
+}
+
+// adoptTransit buffers a sequenced transit packet and rewrites its
+// retransmission pointer to this node, so downstream NAKs travel a shorter
+// round trip. Retransmissions served by an upstream buffer pass through
+// here again and are simply re-adopted, which is harmless (same bytes,
+// same key).
+func (b *BufferNode) adoptTransit(v wire.View) {
+	feats := v.Features()
+	if !feats.Has(wire.FeatSequenced) || !feats.Has(wire.FeatReliable) {
+		return
+	}
+	seq, err := v.Seq()
+	if err != nil || seq == 0 {
+		return
+	}
+	if err := v.SetRetransmitBuffer(b.node.Addr); err != nil {
+		return
+	}
+	b.stash(v.Experiment(), seq, v)
+	b.Stats.Repointed++
+}
+
+// stash stores an independent copy: downstream elements mutate headers in
+// flight (age, back-pressure level), and the buffer must retransmit the
+// packet as it left this node.
+func (b *BufferNode) stash(exp wire.ExperimentID, seq uint64, pkt wire.View) {
+	cp := pkt.Clone()
+	k := bufKey{exp, seq}
+	for b.bytes+len(cp) > b.cfg.CapacityBytes && len(b.order) > 0 {
+		oldest := b.order[0]
+		b.order = b.order[1:]
+		if old, ok := b.store[oldest]; ok {
+			b.bytes -= len(old)
+			delete(b.store, oldest)
+			b.Stats.Evicted++
+		}
+	}
+	b.store[k] = cp
+	b.order = append(b.order, k)
+	b.bytes += len(cp)
+	b.Stats.Buffered++
+	b.Stats.BufferedBytes += uint64(len(cp))
+}
+
+func (b *BufferNode) handleControl(ingress *netsim.Port, f *netsim.Frame, v wire.View) {
+	if f.Dst != b.node.Addr {
+		b.forwardRaw(f)
+		return
+	}
+	switch v.ConfigID() {
+	case wire.ConfigNAK:
+		nak, err := wire.DecodeNAK(f.Data)
+		if err != nil {
+			return
+		}
+		b.Stats.NAKs++
+		b.serveNAK(nak)
+	case wire.ConfigAck:
+		ack, err := wire.DecodeAck(f.Data)
+		if err != nil {
+			return
+		}
+		b.trim(ack.Experiment, ack.CumulativeSeq)
+	}
+}
+
+func (b *BufferNode) serveNAK(nak *wire.NAK) {
+	for _, r := range nak.Ranges {
+		for seq := r.From; seq <= r.To && r.To >= r.From; seq++ {
+			if pkt, ok := b.store[bufKey{nak.Experiment, seq}]; ok {
+				// Retransmit a fresh copy directly to the requester.
+				b.send(b.cfg.ForwardPort, nak.Requester, wire.View(pkt).Clone())
+				b.Stats.Retransmits++
+			} else {
+				b.Stats.Misses++
+			}
+			if seq == r.To { // avoid uint64 wrap on To == MaxUint64
+				break
+			}
+		}
+	}
+}
+
+// trim drops buffered packets up to and including cum.
+func (b *BufferNode) trim(exp wire.ExperimentID, cum uint64) {
+	kept := b.order[:0]
+	for _, k := range b.order {
+		if k.exp == exp && k.seq <= cum {
+			if old, ok := b.store[k]; ok {
+				b.bytes -= len(old)
+				delete(b.store, k)
+				b.Stats.Trimmed++
+			}
+			continue
+		}
+		kept = append(kept, k)
+	}
+	b.order = kept
+}
+
+func (b *BufferNode) send(port int, dst wire.Addr, data []byte) {
+	b.node.Port(port).Send(&netsim.Frame{
+		Src:  b.node.Addr,
+		Dst:  dst,
+		Data: data,
+		Born: b.nw.Now(),
+	})
+}
+
+// forwardRaw routes a transit frame by destination.
+func (b *BufferNode) forwardRaw(f *netsim.Frame) {
+	port := b.cfg.ForwardPort
+	if p, ok := b.cfg.Routes[f.Dst]; ok {
+		port = p
+	}
+	b.node.Port(port).Send(f)
+}

@@ -1,0 +1,136 @@
+// Package core implements the paper's primary contribution: the DMTP
+// multi-modal transport endpoints and the machinery that plans and applies
+// mode changes along a DAQ stream's path.
+//
+// The pieces map onto Fig. 3/Fig. 4 of the paper:
+//
+//   - Sender is the instrument-side source (① in Fig. 3): it emits DAQ
+//     messages in mode 0 — bare experiment identification, no buffering for
+//     retransmission, exactly as at the originating sensor.
+//   - BufferNode is the first-line DTN (② / "DTN 1" in Fig. 4): it upgrades
+//     the stream's mode for the WAN crossing (sequence numbers, the
+//     retransmission-buffer pointer naming itself, age budget, deadline,
+//     origin timestamp), buffers sequenced packets, and serves NAKs.
+//   - Receiver is the downstream DTN (④ / "DTN 2"): it detects loss from
+//     sequence gaps, requests retransmission from the nearest buffer named
+//     in the header (not from the source — the paper's generalised
+//     hop-by-hop X.25-style recovery), performs the destination timeliness
+//     check, and delivers discrete messages to the application.
+//   - Registry and ResourceMap capture the mode table and the paper's
+//     "map of in-network programmable resources" (§6), from which Planner
+//     derives the per-element mode-change rules installed into
+//     internal/p4sim switches.
+//
+// Endpoints run on the internal/netsim substrate; the same wire protocol
+// also runs over real UDP sockets in internal/live.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Mode is a named transport mode: a config ID and the feature set its
+// configuration bits must carry (paper §5.2: "The combination of fields 1
+// and 2 indicate the transport's mode").
+type Mode struct {
+	Name     string
+	ConfigID uint8
+	Features wire.Features
+}
+
+// The pilot study's three modes (paper §5.4):
+var (
+	// ModeBare is mode 0: unreliable transport from the sensor to DTN 1.
+	// The header only identifies the experiment.
+	ModeBare = Mode{Name: "bare", ConfigID: 0, Features: 0}
+
+	// ModeWAN is the age-sensitive, recoverable-loss mode between DTN 1
+	// and DTN 2: sequenced, reliable (buffer-backed), age-tracked against
+	// a budget, deadline-checked, origin-timestamped, and able to carry
+	// back-pressure.
+	ModeWAN = Mode{
+		Name:     "wan",
+		ConfigID: 1,
+		Features: wire.FeatSequenced | wire.FeatReliable | wire.FeatAgeTracked |
+			wire.FeatTimely | wire.FeatTimestamped | wire.FeatBackPressure,
+	}
+
+	// ModeDeliver is the destination-side mode: the timeliness check
+	// happens at the receiver; the retransmission pointer is dropped once
+	// the stream leaves the recoverable segment.
+	ModeDeliver = Mode{
+		Name:     "deliver",
+		ConfigID: 2,
+		Features: wire.FeatSequenced | wire.FeatAgeTracked | wire.FeatTimely | wire.FeatTimestamped,
+	}
+
+	// ModeAlert is the in-network duplication mode used for multi-domain
+	// alerts (Req 10): timestamped, deadline-checked, duplicated toward a
+	// distribution group.
+	ModeAlert = Mode{
+		Name:     "alert",
+		ConfigID: 3,
+		Features: wire.FeatTimely | wire.FeatTimestamped | wire.FeatDuplicate,
+	}
+)
+
+// Registry maps config IDs to modes so endpoints and elements can validate
+// that a packet's configuration bits match its declared mode.
+type Registry struct {
+	byID map[uint8]Mode
+}
+
+// NewRegistry builds a registry over the given modes.
+func NewRegistry(modes ...Mode) (*Registry, error) {
+	r := &Registry{byID: make(map[uint8]Mode, len(modes))}
+	for _, m := range modes {
+		if m.ConfigID >= wire.ControlBase {
+			return nil, fmt.Errorf("core: mode %q config ID %#02x collides with the control range", m.Name, m.ConfigID)
+		}
+		if !m.Features.Valid() {
+			return nil, fmt.Errorf("core: mode %q has undefined feature bits", m.Name)
+		}
+		if dup, ok := r.byID[m.ConfigID]; ok {
+			return nil, fmt.Errorf("core: config ID %d used by both %q and %q", m.ConfigID, dup.Name, m.Name)
+		}
+		r.byID[m.ConfigID] = m
+	}
+	return r, nil
+}
+
+// PilotRegistry returns the registry of the pilot study's modes.
+func PilotRegistry() *Registry {
+	r, err := NewRegistry(ModeBare, ModeWAN, ModeDeliver, ModeAlert)
+	if err != nil {
+		panic(err) // static definitions; cannot fail
+	}
+	return r
+}
+
+// Lookup returns the mode registered under id.
+func (r *Registry) Lookup(id uint8) (Mode, bool) {
+	m, ok := r.byID[id]
+	return m, ok
+}
+
+// Validate checks that a data packet's configuration bits exactly match the
+// mode its config ID names. Control packets validate trivially.
+func (r *Registry) Validate(v wire.View) error {
+	if _, err := v.Check(); err != nil {
+		return err
+	}
+	if v.IsControl() {
+		return nil
+	}
+	m, ok := r.byID[v.ConfigID()]
+	if !ok {
+		return fmt.Errorf("core: unknown mode %d", v.ConfigID())
+	}
+	if v.Features() != m.Features {
+		return fmt.Errorf("core: mode %q expects features %v, packet carries %v",
+			m.Name, m.Features, v.Features())
+	}
+	return nil
+}

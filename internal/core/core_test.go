@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestPilotRegistryValidates(t *testing.T) {
+	r := PilotRegistry()
+	for _, m := range []Mode{ModeBare, ModeWAN, ModeDeliver, ModeAlert} {
+		got, ok := r.Lookup(m.ConfigID)
+		if !ok || got.Name != m.Name {
+			t.Fatalf("lookup %d: %+v %v", m.ConfigID, got, ok)
+		}
+		h := wire.Header{ConfigID: m.ConfigID, Features: m.Features}
+		enc, err := h.AppendTo(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Validate(wire.View(enc)); err != nil {
+			t.Fatalf("mode %q: %v", m.Name, err)
+		}
+	}
+	// Feature bits that disagree with the declared mode must fail.
+	h := wire.Header{ConfigID: ModeWAN.ConfigID, Features: wire.FeatSequenced}
+	enc, _ := h.AppendTo(nil)
+	if err := r.Validate(wire.View(enc)); err == nil {
+		t.Fatal("mismatched features accepted")
+	}
+	// Unknown mode must fail.
+	h2 := wire.Header{ConfigID: 0x77}
+	enc2, _ := h2.AppendTo(nil)
+	if err := r.Validate(wire.View(enc2)); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	// Control packets validate trivially.
+	h3 := wire.Header{ConfigID: wire.ConfigNAK}
+	enc3, _ := h3.AppendTo(nil)
+	if err := r.Validate(wire.View(enc3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryRejectsBadModes(t *testing.T) {
+	if _, err := NewRegistry(Mode{Name: "ctl", ConfigID: wire.ConfigNAK}); err == nil {
+		t.Fatal("control-range config ID accepted")
+	}
+	if _, err := NewRegistry(Mode{Name: "bad", ConfigID: 1, Features: 1 << 23}); err == nil {
+		t.Fatal("undefined features accepted")
+	}
+	if _, err := NewRegistry(Mode{Name: "a", ConfigID: 1}, Mode{Name: "b", ConfigID: 1}); err == nil {
+		t.Fatal("duplicate config ID accepted")
+	}
+}
+
+func TestXORKeystreamRoundTripQuick(t *testing.T) {
+	c := NewXORKeystream(0xDEADBEEFCAFEF00D)
+	f := func(nonce uint32, payload []byte) bool {
+		orig := append([]byte(nil), payload...)
+		c.Seal(0, nonce, payload)
+		if len(payload) > 8 && bytes.Equal(orig, payload) {
+			return false // keystream must actually transform
+		}
+		c.Open(0, nonce, payload)
+		return bytes.Equal(orig, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORKeystreamNonceMatters(t *testing.T) {
+	c := NewXORKeystream(1)
+	a := []byte("same plaintext bytes")
+	b := append([]byte(nil), a...)
+	c.Seal(0, 1, a)
+	c.Seal(0, 2, b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different nonces produced identical ciphertext")
+	}
+}
+
+func TestToRangesQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		seqs := make([]uint64, len(raw))
+		seen := make(map[uint64]bool)
+		for i, v := range raw {
+			seqs[i] = uint64(v)
+			seen[uint64(v)] = true
+		}
+		ranges := toRanges(seqs)
+		// Every input seq must be covered; total coverage must equal the
+		// distinct input count (ranges must not over-cover).
+		var covered uint64
+		for _, r := range ranges {
+			if r.To < r.From {
+				return false
+			}
+			covered += r.To - r.From + 1
+			for s := r.From; s <= r.To; s++ {
+				if !seen[s] {
+					return false
+				}
+			}
+		}
+		return covered == uint64(len(seen))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToRangesCompresses(t *testing.T) {
+	got := toRanges([]uint64{5, 1, 2, 3, 9})
+	want := []wire.SeqRange{{From: 1, To: 3}, {From: 5, To: 5}, {From: 9, To: 9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	if toRanges(nil) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func pilotMap() *ResourceMap {
+	return &ResourceMap{
+		Segments: []Segment{
+			{Name: "daq", RTT: 100 * time.Microsecond, RateBps: 100e9},
+			{Name: "wan", RTT: 30 * time.Millisecond, RateBps: 100e9, LossProb: 1e-5, Shared: true},
+			{Name: "campus", RTT: time.Millisecond, RateBps: 10e9, Shared: true},
+		},
+		Resources: []Resource{
+			{Name: "dtn1", Addr: wire.AddrFrom(10, 0, 1, 1, 7000), Kind: KindBuffer, Segment: 0, CapacityBytes: 1 << 30},
+			{Name: "tofino", Addr: wire.AddrFrom(10, 0, 2, 1, 0), Kind: KindModeChanger, Segment: 1},
+		},
+	}
+}
+
+func TestResourceMapValidateAndLookup(t *testing.T) {
+	m := pilotMap()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	buf, ok := m.NearestBuffer(2)
+	if !ok || buf.Name != "dtn1" {
+		t.Fatalf("nearest buffer %+v %v", buf, ok)
+	}
+	if _, ok := m.NearestBuffer(-1); ok {
+		t.Fatal("phantom buffer upstream of the path")
+	}
+	if rs := m.ResourcesIn(1); len(rs) != 1 || rs[0].Name != "tofino" {
+		t.Fatalf("resources in segment 1: %+v", rs)
+	}
+	bad := &ResourceMap{Segments: []Segment{{Name: "x"}}, Resources: []Resource{{Name: "r", Kind: KindBuffer, Segment: 5}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range segment accepted")
+	}
+	if err := (&ResourceMap{}).Validate(); err == nil {
+		t.Fatal("empty map accepted")
+	}
+}
+
+func TestPlanReproducesPilotModes(t *testing.T) {
+	plans, err := Plan(pilotMap(), PlanPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 3 {
+		t.Fatalf("%d plans", len(plans))
+	}
+	// Segment 0 (DAQ net, no upstream buffer): bare / mode 0.
+	if plans[0].Mode.ConfigID != ModeBare.ConfigID {
+		t.Fatalf("daq segment mode %q", plans[0].Mode.Name)
+	}
+	// Segment 1 (WAN, buffer at DTN1 upstream): recoverable WAN mode.
+	if plans[1].Mode.ConfigID != ModeWAN.ConfigID {
+		t.Fatalf("wan segment mode %q", plans[1].Mode.Name)
+	}
+	if plans[1].Buffer != wire.AddrFrom(10, 0, 1, 1, 7000) {
+		t.Fatalf("wan buffer %v", plans[1].Buffer)
+	}
+	if plans[1].MaxAge <= 0 || plans[1].DeadlineBudget <= 0 {
+		t.Fatal("wan budgets unset")
+	}
+	// Final segment: delivery mode (timeliness check at destination).
+	if plans[2].Mode.ConfigID != ModeDeliver.ConfigID {
+		t.Fatalf("final segment mode %q", plans[2].Mode.Name)
+	}
+}
+
+func TestPlanWithoutBuffersStaysBare(t *testing.T) {
+	m := &ResourceMap{Segments: []Segment{{Name: "a"}, {Name: "b"}}}
+	plans, err := Plan(m, PlanPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Mode.ConfigID != ModeBare.ConfigID {
+			t.Fatalf("segment %q mode %q", p.Segment.Name, p.Mode.Name)
+		}
+	}
+}
+
+func TestResourceKindStrings(t *testing.T) {
+	for _, k := range []ResourceKind{KindBuffer, KindModeChanger, KindDuplicator, KindTelemetry, ResourceKind(77)} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// ReceiverConfig configures a destination DTN (DTN 2 in Fig. 4).
+type ReceiverConfig struct {
+	// NAKDelay is the reorder tolerance: how long after detecting a gap
+	// the first NAK is sent. Zero means 500 µs.
+	NAKDelay time.Duration
+	// NAKRetry is the retransmission-request timeout; it should cover the
+	// round trip to the nearest buffer. Zero means 5 ms.
+	NAKRetry time.Duration
+	// MaxNAKs bounds recovery attempts per sequence number before the
+	// packet is declared lost. Zero means 5.
+	MaxNAKs int
+	// AckInterval, when nonzero, emits cumulative ACKs to the buffer so
+	// it can trim acknowledged packets.
+	AckInterval time.Duration
+	// Cipher decrypts FeatEncrypted payloads.
+	Cipher Cipher
+	// Ordered buffers sequenced messages and delivers them in sequence
+	// order instead of on arrival. DMTP itself is message-based (Req 7);
+	// this opt-in exists for consumers that genuinely need ordering and
+	// for the head-of-line-blocking ablation, which shows the blocking
+	// cost is a property of ordered delivery, not of TCP specifically.
+	Ordered bool
+	// OnMessage delivers each received DAQ message (decrypted payload).
+	// DMTP is message-based: delivery is immediate and unordered; the
+	// sequence machinery exists for completeness accounting and recovery,
+	// not for imposing a bytestream order (Req 7, paper §4.1 on
+	// head-of-line blocking).
+	OnMessage func(m Message)
+}
+
+// Message is one delivered DAQ message with transport-level metadata.
+type Message struct {
+	Experiment wire.ExperimentID
+	Seq        uint64 // 0 when the stream is unsequenced
+	Payload    []byte
+	// Latency is origin-to-delivery time when the packet carried an
+	// origin timestamp; otherwise -1.
+	Latency time.Duration
+	// Aged reports the in-network age flag.
+	Aged bool
+	// Late reports a missed delivery deadline, checked at the
+	// destination (pilot mode 3).
+	Late bool
+	// Recovered marks messages restored via NAK retransmission.
+	Recovered bool
+}
+
+// ReceiverStats are cumulative receiver counters.
+type ReceiverStats struct {
+	Received    uint64
+	Bytes       uint64
+	Delivered   uint64
+	Duplicates  uint64
+	GapsSeen    uint64
+	NAKsSent    uint64
+	Recovered   uint64
+	Lost        uint64 // given up after MaxNAKs
+	Aged        uint64
+	Late        uint64
+	Unsequenced uint64
+}
+
+type missing struct {
+	detected sim.Time
+	naks     int
+	nextNAK  sim.Time
+}
+
+type streamState struct {
+	exp          wire.ExperimentID
+	maxSeen      uint64
+	floor        uint64 // every seq ≤ floor is received or written off
+	received     map[uint64]bool
+	missing      map[uint64]*missing
+	buffer       wire.Addr // most recent retransmission-buffer pointer
+	timer        *sim.Timer
+	lastActivity sim.Time
+	ackArmed     bool
+	// Ordered-delivery state: messages awaiting their turn and the next
+	// sequence number to hand to the application.
+	pending     map[uint64]*pendingMsg
+	nextDeliver uint64
+}
+
+type pendingMsg struct {
+	msg     Message
+	arrived sim.Time
+}
+
+// Receiver is the downstream DMTP endpoint: it delivers messages, detects
+// loss from sequence gaps, recovers from the nearest upstream buffer via
+// NAKs, and performs the destination timeliness check.
+type Receiver struct {
+	cfg  ReceiverConfig
+	node *netsim.Node
+	nw   *netsim.Network
+
+	Stats ReceiverStats
+	// LatencyHist records origin→delivery latency.
+	LatencyHist *telemetry.Histogram
+	// RecoveryHist records gap-detection→recovery latency.
+	RecoveryHist *telemetry.Histogram
+	// Meter counts delivered goodput bytes.
+	Meter telemetry.Meter
+	// OrderedHOL records, for ordered delivery, how long each fully
+	// received message waited behind earlier gaps.
+	OrderedHOL *telemetry.Histogram
+
+	streams map[wire.ExperimentID]*streamState
+}
+
+// NewReceiver creates a receiver and registers its node on the network.
+func NewReceiver(nw *netsim.Network, name string, addr wire.Addr, cfg ReceiverConfig) *Receiver {
+	r := NewReceiverHandler(nw, cfg)
+	r.node = nw.AddNode(name, addr, r)
+	return r
+}
+
+// NewReceiverHandler creates a receiver without registering a node, for
+// callers that wrap it in a decorating handler (e.g. discovery.Wrap); the
+// node is bound via Attach when the wrapper is registered.
+func NewReceiverHandler(nw *netsim.Network, cfg ReceiverConfig) *Receiver {
+	if cfg.NAKDelay == 0 {
+		cfg.NAKDelay = 500 * time.Microsecond
+	}
+	if cfg.NAKRetry == 0 {
+		cfg.NAKRetry = 5 * time.Millisecond
+	}
+	if cfg.MaxNAKs == 0 {
+		cfg.MaxNAKs = 5
+	}
+	return &Receiver{
+		cfg:          cfg,
+		nw:           nw,
+		LatencyHist:  telemetry.NewHistogram(),
+		RecoveryHist: telemetry.NewHistogram(),
+		OrderedHOL:   telemetry.NewHistogram(),
+		streams:      make(map[wire.ExperimentID]*streamState),
+	}
+}
+
+// Node returns the receiver's network node.
+func (r *Receiver) Node() *netsim.Node { return r.node }
+
+// Addr returns the receiver's address.
+func (r *Receiver) Addr() wire.Addr { return r.node.Addr }
+
+// Attach implements netsim.Handler.
+func (r *Receiver) Attach(n *netsim.Node) { r.node = n }
+
+// OutstandingGaps returns the number of sequence numbers currently awaiting
+// recovery across all streams.
+func (r *Receiver) OutstandingGaps() int {
+	n := 0
+	for _, st := range r.streams {
+		n += len(st.missing)
+	}
+	return n
+}
+
+// HandleFrame implements netsim.Handler.
+func (r *Receiver) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
+	v := wire.View(f.Data)
+	if _, err := v.Check(); err != nil {
+		return
+	}
+	if v.IsControl() {
+		return // receivers ignore control traffic addressed to them
+	}
+	r.Stats.Received++
+	r.Stats.Bytes += uint64(len(v))
+	feats := v.Features()
+	exp := v.Experiment()
+
+	msg := Message{Experiment: exp, Latency: -1}
+	if feats.Has(wire.FeatTimestamped) {
+		if origin, err := v.OriginTimestamp(); err == nil && origin > 0 {
+			msg.Latency = time.Duration(r.nw.Now().Nanos() - origin)
+			r.LatencyHist.ObserveDuration(msg.Latency)
+		}
+	}
+	if feats.Has(wire.FeatAgeTracked) {
+		if age, err := v.Age(); err == nil {
+			aged := age.Aged()
+			// Destination timeliness check (pilot mode 3): the receiver
+			// recomputes the final age from the origin timestamp, so a
+			// budget blown on the last segment is caught even though no
+			// network element sits there to update the field.
+			if !aged && age.MaxAgeMicros > 0 && msg.Latency >= 0 &&
+				uint64(msg.Latency/time.Microsecond) >= uint64(age.MaxAgeMicros) {
+				aged = true
+			}
+			if aged {
+				msg.Aged = true
+				r.Stats.Aged++
+			}
+		}
+	}
+	if feats.Has(wire.FeatTimely) {
+		if deadline, _, err := v.Deadline(); err == nil && deadline != 0 && r.nw.Now().Nanos() > deadline {
+			msg.Late = true
+			r.Stats.Late++
+		}
+	}
+
+	if !feats.Has(wire.FeatSequenced) {
+		r.Stats.Unsequenced++
+		r.deliver(v, msg)
+		return
+	}
+	seq, err := v.Seq()
+	if err != nil || seq == 0 {
+		r.Stats.Unsequenced++
+		r.deliver(v, msg)
+		return
+	}
+	msg.Seq = seq
+
+	st := r.stream(exp)
+	if feats.Has(wire.FeatReliable) {
+		if buf, err := v.RetransmitBuffer(); err == nil && !buf.IsZero() {
+			st.buffer = buf
+		}
+	}
+	if seq <= st.floor || st.received[seq] {
+		r.Stats.Duplicates++
+		return
+	}
+	st.received[seq] = true
+	if m, wasMissing := st.missing[seq]; wasMissing {
+		delete(st.missing, seq)
+		// Only arrivals that needed a NAK count as recovered; a packet
+		// that shows up before the first NAK fires was merely reordered,
+		// not lost.
+		if m.naks > 0 {
+			msg.Recovered = true
+			r.Stats.Recovered++
+			r.RecoveryHist.ObserveDuration(r.nw.Now().Sub(m.detected))
+		}
+	}
+	if seq > st.maxSeen {
+		for s := st.maxSeen + 1; s < seq; s++ {
+			if s > st.floor && !st.received[s] {
+				st.missing[s] = &missing{
+					detected: r.nw.Now(),
+					nextNAK:  r.nw.Now().Add(r.cfg.NAKDelay),
+				}
+				r.Stats.GapsSeen++
+			}
+		}
+		st.maxSeen = seq
+	}
+	r.advanceFloor(st)
+	r.armTimer(st)
+	if r.cfg.Ordered {
+		st.pending[seq] = &pendingMsg{msg: r.finalize(v, msg), arrived: r.nw.Now()}
+		r.flushOrdered(st)
+		return
+	}
+	r.deliver(v, msg)
+}
+
+// flushOrdered hands over every pending message whose turn has come,
+// skipping sequence numbers that were written off as lost.
+func (r *Receiver) flushOrdered(st *streamState) {
+	for st.nextDeliver <= st.maxSeen {
+		if pm, ok := st.pending[st.nextDeliver]; ok {
+			delete(st.pending, st.nextDeliver)
+			r.OrderedHOL.ObserveDuration(r.nw.Now().Sub(pm.arrived))
+			r.handOver(pm.msg)
+			st.nextDeliver++
+			continue
+		}
+		if st.nextDeliver <= st.floor {
+			st.nextDeliver++ // written off as lost; skip its slot
+			continue
+		}
+		return // still awaiting recovery
+	}
+}
+
+func (r *Receiver) deliver(v wire.View, msg Message) {
+	r.handOver(r.finalize(v, msg))
+}
+
+// finalize decrypts the payload and completes the message.
+func (r *Receiver) finalize(v wire.View, msg Message) Message {
+	payload := v.Payload()
+	if v.Features().Has(wire.FeatEncrypted) && r.cfg.Cipher != nil {
+		if ext, err := cipherExt(v); err == nil {
+			// Decrypt a copy: the view may alias a buffered frame.
+			dec := append([]byte(nil), payload...)
+			r.cfg.Cipher.Open(ext.KeyEpoch, ext.Nonce, dec)
+			payload = dec
+		}
+	}
+	msg.Payload = payload
+	return msg
+}
+
+// handOver delivers a finalized message to the application.
+func (r *Receiver) handOver(msg Message) {
+	r.Stats.Delivered++
+	r.Meter.Add(len(msg.Payload))
+	if r.cfg.OnMessage != nil {
+		r.cfg.OnMessage(msg)
+	}
+}
+
+func cipherExt(v wire.View) (wire.CipherExt, error) {
+	off, err := v.Features().ExtOffset(wire.FeatEncrypted)
+	if err != nil {
+		return wire.CipherExt{}, err
+	}
+	b := v[wire.CoreHeaderLen+off:]
+	return wire.CipherExt{
+		KeyEpoch: uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]),
+		Nonce:    uint32(b[4])<<24 | uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7]),
+	}, nil
+}
+
+func (r *Receiver) stream(exp wire.ExperimentID) *streamState {
+	st, ok := r.streams[exp]
+	if !ok {
+		st = &streamState{
+			exp:         exp,
+			received:    make(map[uint64]bool),
+			missing:     make(map[uint64]*missing),
+			pending:     make(map[uint64]*pendingMsg),
+			nextDeliver: 1,
+		}
+		r.streams[exp] = st
+	}
+	st.lastActivity = r.nw.Now()
+	if r.cfg.AckInterval > 0 && !st.ackArmed {
+		st.ackArmed = true
+		r.scheduleAck(st)
+	}
+	return st
+}
+
+func (r *Receiver) advanceFloor(st *streamState) {
+	for st.received[st.floor+1] {
+		delete(st.received, st.floor+1)
+		st.floor++
+	}
+}
+
+// armTimer (re)schedules the NAK timer for the earliest pending action.
+func (r *Receiver) armTimer(st *streamState) {
+	if len(st.missing) == 0 {
+		if st.timer != nil {
+			st.timer.Stop()
+			st.timer = nil
+		}
+		return
+	}
+	var earliest sim.Time
+	first := true
+	for _, m := range st.missing {
+		if first || m.nextNAK < earliest {
+			earliest = m.nextNAK
+			first = false
+		}
+	}
+	if st.timer != nil {
+		if st.timer.When() <= earliest {
+			return
+		}
+		st.timer.Stop()
+	}
+	if earliest < r.nw.Now() {
+		earliest = r.nw.Now()
+	}
+	st.timer = r.nw.Loop().At(earliest, func() {
+		st.timer = nil
+		r.fireNAKs(st)
+	})
+}
+
+func (r *Receiver) fireNAKs(st *streamState) {
+	now := r.nw.Now()
+	var due []uint64
+	for seq, m := range st.missing {
+		if m.nextNAK > now {
+			continue
+		}
+		if m.naks >= r.cfg.MaxNAKs {
+			// Give up: count as lost and stop tracking.
+			delete(st.missing, seq)
+			st.received[seq] = true // write off so the floor advances
+			r.Stats.Lost++
+			continue
+		}
+		due = append(due, seq)
+		m.naks++
+		// Exponential backoff on retries.
+		m.nextNAK = now.Add(r.cfg.NAKRetry << (m.naks - 1))
+	}
+	r.advanceFloor(st)
+	if r.cfg.Ordered {
+		r.flushOrdered(st) // written-off slots unblock ordered delivery
+	}
+	if len(due) > 0 && !st.buffer.IsZero() {
+		nak := wire.NAK{
+			Experiment: st.exp,
+			Requester:  r.node.Addr,
+			Ranges:     toRanges(due),
+		}
+		if data, err := nak.AppendTo(nil); err == nil {
+			r.node.SendTo(st.buffer, data)
+			r.Stats.NAKsSent++
+		}
+	}
+	r.armTimer(st)
+}
+
+// toRanges compresses a sorted-or-not seq list into inclusive ranges.
+func toRanges(seqs []uint64) []wire.SeqRange {
+	if len(seqs) == 0 {
+		return nil
+	}
+	// Insertion sort: NAK bursts are small.
+	for i := 1; i < len(seqs); i++ {
+		for j := i; j > 0 && seqs[j] < seqs[j-1]; j-- {
+			seqs[j], seqs[j-1] = seqs[j-1], seqs[j]
+		}
+	}
+	var out []wire.SeqRange
+	cur := wire.SeqRange{From: seqs[0], To: seqs[0]}
+	for _, s := range seqs[1:] {
+		if s == cur.To || s == cur.To+1 {
+			cur.To = s
+			continue
+		}
+		out = append(out, cur)
+		cur = wire.SeqRange{From: s, To: s}
+	}
+	return append(out, cur)
+}
+
+func (r *Receiver) scheduleAck(st *streamState) {
+	r.nw.Loop().After(r.cfg.AckInterval, func() {
+		if st.floor > 0 && !st.buffer.IsZero() {
+			ack := wire.Ack{Experiment: st.exp, CumulativeSeq: st.floor, Acker: r.node.Addr}
+			if data, err := ack.AppendTo(nil); err == nil {
+				r.node.SendTo(st.buffer, data)
+			}
+		}
+		// Stop re-arming once the stream has gone idle, so simulations
+		// drain; the next arriving packet re-arms the cycle.
+		if r.nw.Now().Sub(st.lastActivity) > 4*r.cfg.AckInterval {
+			st.ackArmed = false
+			return
+		}
+		r.scheduleAck(st)
+	})
+}

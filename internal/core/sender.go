@@ -1,0 +1,288 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/daq"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// SenderConfig configures an instrument-side DMTP source.
+type SenderConfig struct {
+	// Experiment is the 24-bit experiment number; the slice byte comes
+	// from each DAQ record (Req 8).
+	Experiment uint32
+	// Dst is the next stage — normally the first-line DTN (DTN 1).
+	Dst wire.Addr
+	// Mode is the emission mode; sensors use ModeBare (paper §5.3: "DAQ
+	// data starts out in mode 0 at the sensor").
+	Mode Mode
+	// RateMbps, when nonzero, paces emission with a token bucket instead
+	// of sending at the workload's natural schedule.
+	RateMbps uint32
+	// DupGroup and DupScope populate the duplication extension when the
+	// mode carries FeatDuplicate (alert distribution, Req 10).
+	DupGroup uint32
+	DupScope uint8
+	// DeadlineBudget populates the timeliness extension when the mode
+	// carries FeatTimely: deadline = emission time + budget.
+	DeadlineBudget time.Duration
+	// DeadlineNotify is where deadline violations are reported.
+	DeadlineNotify wire.Addr
+	// RecoverInterval is how often a back-pressured sender doubles its
+	// rate back toward unpaced; zero means 10 ms.
+	RecoverInterval time.Duration
+}
+
+// SenderStats are cumulative sender counters.
+type SenderStats struct {
+	Sent         uint64
+	SentBytes    uint64
+	Queued       uint64 // messages that waited for pacing tokens
+	BackPressure uint64 // signals received
+	DeadlineMiss uint64 // deadline-exceeded notifications received
+}
+
+// Sender is the DAQ source endpoint (① in Fig. 3). It emits each workload
+// record as one DMTP datagram (Req 7 — message abstraction) and reacts to
+// back-pressure signals relayed by the network (paper §5.1).
+type Sender struct {
+	cfg  SenderConfig
+	node *netsim.Node
+	nw   *netsim.Network
+
+	Stats SenderStats
+	// Done is set once the workload source is exhausted and the queue is
+	// drained.
+	Done bool
+	// OnDone, if non-nil, runs when the sender finishes.
+	OnDone func()
+
+	src     daq.Source
+	pending [][]byte // paced/back-pressured backlog
+
+	rateMbps   uint32 // 0 = unpaced
+	paused     bool
+	tokens     float64 // bytes
+	lastRefill sim.Time
+	drainTimer *sim.Timer
+	recover    *sim.Timer
+
+	meter telemetry.Meter
+}
+
+// NewSender creates a sender and registers its node on the network.
+func NewSender(nw *netsim.Network, name string, addr wire.Addr, cfg SenderConfig) *Sender {
+	if cfg.RecoverInterval == 0 {
+		cfg.RecoverInterval = 10 * time.Millisecond
+	}
+	s := &Sender{cfg: cfg, nw: nw, rateMbps: cfg.RateMbps}
+	s.node = nw.AddNode(name, addr, s)
+	return s
+}
+
+// Node returns the sender's network node.
+func (s *Sender) Node() *netsim.Node { return s.node }
+
+// Meter returns the sender's emission meter.
+func (s *Sender) Meter() telemetry.Meter { return s.meter }
+
+// Attach implements netsim.Handler.
+func (s *Sender) Attach(n *netsim.Node) { s.node = n }
+
+// HandleFrame implements netsim.Handler: the sensor receives only control
+// traffic (back-pressure, deadline notifications).
+func (s *Sender) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
+	v := wire.View(f.Data)
+	if _, err := v.Check(); err != nil || !v.IsControl() {
+		return
+	}
+	switch v.ConfigID() {
+	case wire.ConfigBackPressure:
+		sig, err := wire.DecodeBackPressure(f.Data)
+		if err != nil {
+			return
+		}
+		s.Stats.BackPressure++
+		s.applyBackPressure(sig)
+	case wire.ConfigDeadlineExceeded:
+		if _, err := wire.DecodeDeadlineExceeded(f.Data); err == nil {
+			s.Stats.DeadlineMiss++
+		}
+	}
+}
+
+func (s *Sender) applyBackPressure(sig *wire.BackPressureSignal) {
+	if sig.Level == 0 {
+		s.paused = false
+		s.rateMbps = s.cfg.RateMbps
+		s.kickDrain()
+		return
+	}
+	switch {
+	case sig.RateHintMbps > 0:
+		s.rateMbps = sig.RateHintMbps
+	case s.rateMbps > 0:
+		s.rateMbps /= 2
+		if s.rateMbps == 0 {
+			s.rateMbps = 1
+		}
+	default:
+		// Unpaced sender with no hint: halve from link-ish speed.
+		s.rateMbps = 1000
+	}
+	if sig.Level == 255 {
+		s.paused = true
+	}
+	// Schedule gradual recovery: double the rate periodically until back
+	// to the configured behaviour.
+	if s.recover != nil {
+		s.recover.Stop()
+	}
+	s.recover = s.nw.Loop().After(s.cfg.RecoverInterval, s.recoverStep)
+}
+
+func (s *Sender) recoverStep() {
+	s.paused = false
+	if s.cfg.RateMbps == 0 && s.rateMbps >= 100_000 {
+		s.rateMbps = 0 // fully recovered to unpaced
+	} else if s.cfg.RateMbps != 0 && s.rateMbps >= s.cfg.RateMbps {
+		s.rateMbps = s.cfg.RateMbps
+	} else {
+		s.rateMbps *= 2
+		s.recover = s.nw.Loop().After(s.cfg.RecoverInterval, s.recoverStep)
+	}
+	s.kickDrain()
+}
+
+// Stream schedules the whole workload source: each record is emitted at
+// its generation time (or queued under pacing/back-pressure).
+func (s *Sender) Stream(src daq.Source) {
+	s.src = src
+	s.scheduleNext()
+}
+
+func (s *Sender) scheduleNext() {
+	rec, ok := s.src.Next()
+	if !ok {
+		s.src = nil
+		s.maybeDone()
+		return
+	}
+	at := sim.Time(rec.At)
+	if at < s.nw.Now() {
+		at = s.nw.Now()
+	}
+	s.nw.Loop().At(at, func() {
+		s.Emit(rec.Data, rec.Slice)
+		s.scheduleNext()
+	})
+}
+
+// Emit sends one DAQ message now (or queues it under pacing).
+func (s *Sender) Emit(msg []byte, slice uint8) {
+	pkt := s.encap(msg, slice)
+	if s.rateMbps == 0 && !s.paused && len(s.pending) == 0 {
+		s.sendNow(pkt)
+		return
+	}
+	s.pending = append(s.pending, pkt)
+	s.Stats.Queued++
+	s.kickDrain()
+}
+
+func (s *Sender) encap(msg []byte, slice uint8) []byte {
+	h := wire.Header{
+		ConfigID:   s.cfg.Mode.ConfigID,
+		Features:   s.cfg.Mode.Features,
+		Experiment: wire.NewExperimentID(s.cfg.Experiment, slice),
+	}
+	if h.Features.Has(wire.FeatTimestamped) {
+		h.Timestamp.OriginNanos = s.nw.Now().Nanos()
+	}
+	if h.Features.Has(wire.FeatDuplicate) {
+		h.Dup = wire.DupExt{Group: s.cfg.DupGroup, Scope: s.cfg.DupScope}
+	}
+	if h.Features.Has(wire.FeatBackPressure) {
+		// Signals come home to the sender.
+		h.BackPressure.Sink = s.node.Addr
+	}
+	if h.Features.Has(wire.FeatTimely) && s.cfg.DeadlineBudget > 0 {
+		h.Deadline = wire.DeadlineExt{
+			DeadlineNanos: s.nw.Now().Add(s.cfg.DeadlineBudget).Nanos(),
+			Notify:        s.cfg.DeadlineNotify,
+		}
+	}
+	pkt, err := h.AppendTo(make([]byte, 0, h.WireSize()+len(msg)))
+	if err != nil {
+		panic(err) // modes are validated at construction
+	}
+	return append(pkt, msg...)
+}
+
+func (s *Sender) sendNow(pkt []byte) {
+	s.node.SendTo(s.cfg.Dst, pkt)
+	s.Stats.Sent++
+	s.Stats.SentBytes += uint64(len(pkt))
+	s.meter.Add(len(pkt))
+}
+
+// kickDrain drains the pending queue subject to pause state and the token
+// bucket.
+func (s *Sender) kickDrain() {
+	if s.drainTimer != nil {
+		return // drain already scheduled
+	}
+	s.drain()
+}
+
+func (s *Sender) drain() {
+	s.drainTimer = nil
+	if s.paused {
+		return // resumed by a recovery step or a clear signal
+	}
+	now := s.nw.Now()
+	if s.rateMbps > 0 {
+		elapsed := now.Sub(s.lastRefill)
+		s.tokens += float64(s.rateMbps) * 1e6 / 8 * elapsed.Seconds()
+		burst := float64(s.rateMbps) * 1e6 / 8 * 0.001 // 1 ms of burst
+		if burst < 64<<10 {
+			burst = 64 << 10
+		}
+		if s.tokens > burst {
+			s.tokens = burst
+		}
+	}
+	s.lastRefill = now
+	for len(s.pending) > 0 {
+		pkt := s.pending[0]
+		if s.rateMbps > 0 && s.tokens < float64(len(pkt)) {
+			// Sleep until enough tokens accumulate.
+			need := float64(len(pkt)) - s.tokens
+			wait := time.Duration(need / (float64(s.rateMbps) * 1e6 / 8) * float64(time.Second))
+			if wait <= 0 {
+				wait = time.Microsecond
+			}
+			s.drainTimer = s.nw.Loop().After(wait, s.drain)
+			return
+		}
+		if s.rateMbps > 0 {
+			s.tokens -= float64(len(pkt))
+		}
+		s.pending = s.pending[1:]
+		s.sendNow(pkt)
+	}
+	s.maybeDone()
+}
+
+func (s *Sender) maybeDone() {
+	if s.src == nil && len(s.pending) == 0 && !s.Done {
+		s.Done = true
+		if s.OnDone != nil {
+			s.OnDone()
+		}
+	}
+}

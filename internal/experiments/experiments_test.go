@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestE1Table1RatesMatch(t *testing.T) {
+	rows := E1Table1(1000, 2000, 1)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		ratio := r.MeasuredBps / r.TargetBps
+		if ratio < 0.85 || ratio > 1.25 {
+			t.Fatalf("%s: measured %.3g vs target %.3g", r.Name, r.MeasuredBps, r.TargetBps)
+		}
+		if r.TargetBps*1000 != r.PaperRateBps {
+			t.Fatalf("%s: scaling wrong", r.Name)
+		}
+	}
+	out := E1TableString(rows)
+	if !strings.Contains(out, "DUNE") || !strings.Contains(out, "120 Tbps") {
+		t.Fatalf("table missing catalog content:\n%s", out)
+	}
+}
+
+func TestE2BaselineChainShape(t *testing.T) {
+	res := E2Fig2Baseline(E2Config{Seed: 1, Messages: 1500, WANLoss: 5e-3})
+	if res.DeliveredMessages == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// The DAQ UDP leg is lossless here, so everything the sensor emitted
+	// must eventually arrive — via TCP retransmission on the WAN leg.
+	if res.DeliveredMessages != 1500-res.UDPLost {
+		t.Fatalf("delivered %d, udp lost %d", res.DeliveredMessages, res.UDPLost)
+	}
+	if res.WANRetransmits == 0 {
+		t.Fatal("lossy WAN leg never retransmitted")
+	}
+	if res.HOLp99 == 0 {
+		t.Fatal("no HOL blocking despite loss")
+	}
+	if !strings.Contains(res.Table(), "tuned TCP") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestE3LossSweepShape(t *testing.T) {
+	rows := E3LossSweep([]float64{1e-3, 1e-2}, 400, 2)
+	for _, r := range rows {
+		if r.DMTPLost != 0 {
+			t.Fatalf("DMTP lost %d at loss %g", r.DMTPLost, r.Loss)
+		}
+		// The headline shape: DMTP completes faster than the TCP chain
+		// under loss, increasingly so as loss grows.
+		if r.Speedup <= 1 {
+			t.Fatalf("DMTP did not win at loss %g: speedup %.2f (dmtp %v tcp %v)",
+				r.Loss, r.Speedup, r.DMTPFCT, r.TCPFCT)
+		}
+	}
+	if rows[1].Speedup <= rows[0].Speedup {
+		t.Fatalf("speedup should grow with loss: %.2f then %.2f", rows[0].Speedup, rows[1].Speedup)
+	}
+	if !strings.Contains(E3LossTable(rows), "DMTP FCT") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestE3AlertFanoutShape(t *testing.T) {
+	res := E3AlertFanout(300, 3)
+	if res.DMTPp50 <= 0 || res.BaseP50 <= 0 {
+		t.Fatalf("degenerate latencies: %+v", res)
+	}
+	// In-network duplication beats store-and-forward re-distribution: the
+	// baseline pays the storage termination plus the campus leg serially.
+	if res.DMTPp50 >= res.BaseP50 {
+		t.Fatalf("duplication should win: dmtp %v vs base %v", res.DMTPp50, res.BaseP50)
+	}
+	if !strings.Contains(res.Table(), "duplication") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestE3BackPressureShape(t *testing.T) {
+	res := E3BackPressure(3000, 4)
+	if res.WithoutSignals == 0 {
+		t.Fatal("bottleneck never dropped without back-pressure")
+	}
+	if res.SignalsSent == 0 {
+		t.Fatal("no back-pressure signals sent")
+	}
+	if res.WithSignals*2 >= res.WithoutSignals {
+		t.Fatalf("back-pressure ineffective: %d with vs %d without", res.WithSignals, res.WithoutSignals)
+	}
+}
+
+func TestE4PilotMatrix(t *testing.T) {
+	rows := E4Pilot(800, 5)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		res := r.Results
+		switch r.Label {
+		case "clean 100GbE":
+			if res.Lost != 0 || res.Recovered != 0 || res.LinkUtilization < 0.7 {
+				t.Fatalf("clean run: %+v", res)
+			}
+		case "lossy WAN (1e-3)":
+			if res.Recovered == 0 || res.Lost != 0 {
+				t.Fatalf("lossy run: recovered=%d lost=%d", res.Recovered, res.Lost)
+			}
+		case "tight age budget":
+			if res.Aged == 0 {
+				t.Fatalf("age run: aged=%d", res.Aged)
+			}
+		}
+	}
+	if !strings.Contains(E4Table(rows), "supernova burst") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestA1BufferPlacementShape(t *testing.T) {
+	rows := A1BufferPlacement(nil, 800, 5e-3, 6)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Recovery latency must shrink monotonically as the buffer moves
+	// toward the lossy segment (shorter NAK round trip).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RecoveryP50 >= rows[i-1].RecoveryP50 {
+			t.Fatalf("recovery p50 not improving: %v then %v",
+				rows[i-1].RecoveryP50, rows[i].RecoveryP50)
+		}
+	}
+	for _, r := range rows {
+		if r.Recovered == 0 {
+			t.Fatalf("no recoveries at position %v", r.BufferPosition)
+		}
+	}
+	if !strings.Contains(A1Table(rows), "WAN edge") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestA2HOLBlockingShape(t *testing.T) {
+	res := A2HOLBlocking(5e-3, 1500, 7)
+	if res.TCPHOLp99 == 0 {
+		t.Fatal("TCP showed no HOL blocking under loss")
+	}
+	// TCP's p99 blocking must exceed DMTP's latency spread for untouched
+	// messages by a wide margin (at least a WAN retransmission RTT vs
+	// queueing noise).
+	if res.TCPHOLp99 < 10*time.Millisecond {
+		t.Fatalf("TCP HOL p99 only %v", res.TCPHOLp99)
+	}
+	if res.DMTPBlockP99 >= res.TCPHOLp99 {
+		t.Fatalf("DMTP blocking %v not better than TCP %v", res.DMTPBlockP99, res.TCPHOLp99)
+	}
+}
+
+func TestA4CapacityPlanningShape(t *testing.T) {
+	res := A4CapacityPlanning(2500, 8)
+	if res.DMTPDrops != 0 {
+		t.Fatalf("capacity-planned DMTP dropped %d", res.DMTPDrops)
+	}
+	if res.TCPRetransmits == 0 {
+		t.Fatal("greedy TCP never retransmitted")
+	}
+	if res.DMTPUtil <= 0.5 {
+		t.Fatalf("DMTP utilization %.2f", res.DMTPUtil)
+	}
+}
+
+func TestA5DeadlineAQMShape(t *testing.T) {
+	res := A5DeadlineAQM(1500, 9)
+	if res.AgedEvicted == 0 {
+		t.Fatal("aware queue never evicted aged frames")
+	}
+	// The deadline-aware queue must convert stale-bulk slots into fresh
+	// deliveries: strictly more fresh goodput than drop-tail.
+	if res.FreshDeliveredAware <= res.FreshDeliveredPlain {
+		t.Fatalf("aware %d fresh vs plain %d", res.FreshDeliveredAware, res.FreshDeliveredPlain)
+	}
+	if !strings.Contains(res.Table(), "deadline-aware") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestA2OrderedDeliveryReintroducesHOL(t *testing.T) {
+	res := A2HOLBlocking(5e-3, 1500, 7)
+	// Ordering on top of DMTP brings back recovery-RTT-scale blocking —
+	// the blocking is a property of ordered delivery, not of TCP.
+	if res.OrderedHOLMax < 20*time.Millisecond {
+		t.Fatalf("ordered DMTP max blocking only %v", res.OrderedHOLMax)
+	}
+	if res.DMTPBlockP99 >= res.OrderedHOLMax {
+		t.Fatalf("unordered %v should be far below ordered max %v", res.DMTPBlockP99, res.OrderedHOLMax)
+	}
+}
+
+func TestA6BufferSizingShape(t *testing.T) {
+	// 10000 × 7.7 KB at 80 Gbps offered, 2e-3 WAN loss: recovery takes
+	// ≈30 ms, during which ≈300 MB arrives. A 64 MiB buffer must lose
+	// data to eviction; a 512 MiB buffer must not.
+	rows := A6BufferSizing([]int{64 << 20, 512 << 20}, 10_000, 42)
+	small, big := rows[0], rows[1]
+	if small.Lost == 0 {
+		t.Fatalf("undersized buffer lost nothing: %+v", small)
+	}
+	if big.Lost != 0 {
+		t.Fatalf("well-sized buffer lost %d", big.Lost)
+	}
+	if big.Recovered == 0 {
+		t.Fatal("no recoveries; test vacuous")
+	}
+	if !strings.Contains(A6Table(rows), "MiB") {
+		t.Fatal("table malformed")
+	}
+}

@@ -1,0 +1,320 @@
+package h5lite
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary layout (all integers big-endian):
+//
+//	file   := magic(4) version(u16) reserved(u16) group
+//	group  := 'G' name attrs childGroups childDatasets
+//	attrs  := count(u16) { name kind(u8) value }
+//	value  := int64 | float64-bits | string
+//	name   := len(u16) bytes
+//	childGroups   := count(u32) { group }
+//	childDatasets := count(u32) { dataset }
+//	dataset := 'D' name attrs dtype(u8) ndims(u8) dims(u64…) rawLen(u64) raw
+//
+// Depth-first, deterministic (children sorted by name), so identical trees
+// encode to identical bytes — convenient for content addressing and tests.
+
+// Version is the current format version.
+const Version = 1
+
+// ErrCorrupt is returned by Decode on malformed input.
+var ErrCorrupt = errors.New("h5lite: corrupt file")
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = be.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = be.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = be.AppendUint64(e.buf, v) }
+func (e *encoder) str(s string) {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF]
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) attrs(attrs []Attr) {
+	e.u16(uint16(len(attrs)))
+	for _, a := range attrs {
+		e.str(a.Name)
+		e.u8(a.Kind)
+		switch a.Kind {
+		case attrInt:
+			e.u64(uint64(a.Int))
+		case attrFloat:
+			e.u64(floatBits(a.Float))
+		case attrString:
+			e.str(a.String)
+		}
+	}
+}
+
+func (e *encoder) group(g *Group) {
+	e.u8('G')
+	e.str(g.Name)
+	e.attrs(g.Attrs)
+	groups := g.Groups()
+	e.u32(uint32(len(groups)))
+	for _, c := range groups {
+		e.group(c)
+	}
+	datasets := g.Datasets()
+	e.u32(uint32(len(datasets)))
+	for _, d := range datasets {
+		e.dataset(d)
+	}
+}
+
+func (e *encoder) dataset(d *Dataset) {
+	e.u8('D')
+	e.str(d.Name)
+	e.attrs(d.Attrs)
+	e.u8(uint8(d.Type))
+	e.u8(uint8(len(d.Dims)))
+	for _, dim := range d.Dims {
+		e.u64(dim)
+	}
+	e.u64(uint64(len(d.Raw)))
+	e.buf = append(e.buf, d.Raw...)
+}
+
+// Encode serialises the file.
+func (f *File) Encode() []byte {
+	e := &encoder{}
+	e.buf = append(e.buf, Magic[:]...)
+	e.u16(Version)
+	e.u16(0)
+	e.group(f.Root)
+	return e.buf
+}
+
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if d.off+n > len(d.b) {
+		return fmt.Errorf("%w: need %d bytes at %d of %d", ErrCorrupt, n, d.off, len(d.b))
+	}
+	return nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := be.Uint16(d.b[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := be.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := be.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) attrs() ([]Attr, error) {
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]Attr, 0, n)
+	for i := 0; i < int(n); i++ {
+		var a Attr
+		if a.Name, err = d.str(); err != nil {
+			return nil, err
+		}
+		if a.Kind, err = d.u8(); err != nil {
+			return nil, err
+		}
+		switch a.Kind {
+		case attrInt:
+			v, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			a.Int = int64(v)
+		case attrFloat:
+			v, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			a.Float = floatFromBits(v)
+		case attrString:
+			if a.String, err = d.str(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: attr kind %d", ErrCorrupt, a.Kind)
+		}
+		attrs = append(attrs, a)
+	}
+	return attrs, nil
+}
+
+func (d *decoder) group() (*Group, error) {
+	tag, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if tag != 'G' {
+		return nil, fmt.Errorf("%w: expected group tag, got %#02x", ErrCorrupt, tag)
+	}
+	g := newGroup("")
+	if g.Name, err = d.str(); err != nil {
+		return nil, err
+	}
+	if g.Attrs, err = d.attrs(); err != nil {
+		return nil, err
+	}
+	ng, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(ng) > len(d.b)-d.off {
+		return nil, fmt.Errorf("%w: %d child groups", ErrCorrupt, ng)
+	}
+	for i := 0; i < int(ng); i++ {
+		c, err := d.group()
+		if err != nil {
+			return nil, err
+		}
+		g.groups[c.Name] = c
+	}
+	nd, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nd) > len(d.b)-d.off {
+		return nil, fmt.Errorf("%w: %d child datasets", ErrCorrupt, nd)
+	}
+	for i := 0; i < int(nd); i++ {
+		ds, err := d.dataset()
+		if err != nil {
+			return nil, err
+		}
+		g.datasets[ds.Name] = ds
+	}
+	return g, nil
+}
+
+func (d *decoder) dataset() (*Dataset, error) {
+	tag, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if tag != 'D' {
+		return nil, fmt.Errorf("%w: expected dataset tag, got %#02x", ErrCorrupt, tag)
+	}
+	ds := &Dataset{}
+	if ds.Name, err = d.str(); err != nil {
+		return nil, err
+	}
+	if ds.Attrs, err = d.attrs(); err != nil {
+		return nil, err
+	}
+	t, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	ds.Type = DType(t)
+	if ds.Type.Size() == 0 {
+		return nil, fmt.Errorf("%w: dtype %d", ErrCorrupt, t)
+	}
+	ndims, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	ds.Dims = make([]uint64, ndims)
+	for i := range ds.Dims {
+		if ds.Dims[i], err = d.u64(); err != nil {
+			return nil, err
+		}
+	}
+	rawLen, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.need(int(rawLen)); err != nil {
+		return nil, err
+	}
+	if rawLen != ds.Elements()*uint64(ds.Type.Size()) {
+		return nil, fmt.Errorf("%w: dataset %q raw %d vs dims", ErrCorrupt, ds.Name, rawLen)
+	}
+	ds.Raw = append([]byte(nil), d.b[d.off:d.off+int(rawLen)]...)
+	d.off += int(rawLen)
+	return ds, nil
+}
+
+// Decode parses a serialized file.
+func Decode(b []byte) (*File, error) {
+	if len(b) < 8 || [4]byte(b[:4]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	d := &decoder{b: b, off: 4}
+	ver, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, ver)
+	}
+	if _, err := d.u16(); err != nil {
+		return nil, err
+	}
+	root, err := d.group()
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-d.off)
+	}
+	return &File{Root: root}, nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,22 @@
+package h5lite_test
+
+import (
+	"fmt"
+
+	"repro/internal/h5lite"
+)
+
+// ExampleFile shows building, serialising, and reading back a container.
+func ExampleFile() {
+	f := h5lite.NewFile()
+	run := f.Root.Group("run1")
+	run.SetAttrInt("run", 1)
+	run.Group("slice0").CreateUint16("adc", []uint64{2, 3}, []uint16{10, 11, 12, 20, 21, 22})
+
+	back, _ := h5lite.Decode(f.Encode())
+	ds, _ := back.Open("/run1/slice0/adc")
+	vals, _ := ds.Uint16s()
+	fmt.Println(ds.Dims, ds.Type, vals)
+	// Output:
+	// [2 3] u16 [10 11 12 20 21 22]
+}

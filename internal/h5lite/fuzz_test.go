@@ -1,0 +1,26 @@
+package h5lite
+
+import "testing"
+
+func FuzzDecode(f *testing.F) {
+	file := NewFile()
+	g := file.Root.Group("run1")
+	g.SetAttrInt("run", 1)
+	if _, err := g.CreateUint16("adc", []uint64{2, 2}, []uint16{1, 2, 3, 4}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(file.Encode())
+	f.Add([]byte{})
+	f.Add([]byte("SDF1"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := Decode(b)
+		if err != nil {
+			return
+		}
+		// Anything Decode accepts must re-encode and decode again.
+		re := got.Encode()
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

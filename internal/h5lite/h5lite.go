@@ -1,0 +1,294 @@
+// Package h5lite is a small self-describing hierarchical scientific data
+// container — groups, typed datasets, and attributes — in the spirit of
+// HDF5, which the paper names as the ubiquitous storage format DAQ
+// payloads should be transcoded into along the path (§6 open challenge 2:
+// "DPDK-capable or FPGA resources could be used to … transcode into other
+// formats, such as HDF5 which is ubiquitously used for storage in
+// scientific computing"). Real HDF5 is far larger; this container keeps
+// the properties the transcoding path needs — hierarchy, self-description,
+// typed arrays, attributes, random access — in a format simple enough for
+// an in-network processor.
+//
+// The Archiver at the bottom of the file is that transcoder: it consumes
+// delivered DAQ messages and lays them out as /run<N>/slice<N>/msg<N>
+// datasets with their instrument metadata attached as attributes.
+package h5lite
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+var be = binary.BigEndian
+
+// Magic identifies an encoded file.
+var Magic = [4]byte{'S', 'D', 'F', '1'}
+
+// DType is a dataset element type.
+type DType uint8
+
+// Supported element types.
+const (
+	TypeUint8 DType = iota + 1
+	TypeUint16
+	TypeInt16
+	TypeUint32
+	TypeUint64
+	TypeFloat64
+)
+
+// Size returns the element size in bytes.
+func (t DType) Size() int {
+	switch t {
+	case TypeUint8:
+		return 1
+	case TypeUint16, TypeInt16:
+		return 2
+	case TypeUint32:
+		return 4
+	case TypeUint64, TypeFloat64:
+		return 8
+	}
+	return 0
+}
+
+func (t DType) String() string {
+	switch t {
+	case TypeUint8:
+		return "u8"
+	case TypeUint16:
+		return "u16"
+	case TypeInt16:
+		return "i16"
+	case TypeUint32:
+		return "u32"
+	case TypeUint64:
+		return "u64"
+	case TypeFloat64:
+		return "f64"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(t))
+}
+
+// Attr value kinds.
+const (
+	attrInt    = 1
+	attrFloat  = 2
+	attrString = 3
+)
+
+// Attr is a named scalar annotation on a group or dataset.
+type Attr struct {
+	Name string
+	// Exactly one of the following is meaningful, per Kind.
+	Kind   uint8
+	Int    int64
+	Float  float64
+	String string
+}
+
+// Dataset is a typed N-dimensional array.
+type Dataset struct {
+	Name  string
+	Type  DType
+	Dims  []uint64
+	Attrs []Attr
+	// Raw holds the elements in big-endian order.
+	Raw []byte
+}
+
+// Elements returns the total element count implied by the dims.
+func (d *Dataset) Elements() uint64 {
+	n := uint64(1)
+	for _, dim := range d.Dims {
+		n *= dim
+	}
+	return n
+}
+
+// Uint16s decodes a TypeUint16 dataset.
+func (d *Dataset) Uint16s() ([]uint16, error) {
+	if d.Type != TypeUint16 {
+		return nil, fmt.Errorf("h5lite: dataset %q is %v, not u16", d.Name, d.Type)
+	}
+	n := int(d.Elements())
+	if len(d.Raw) < 2*n {
+		return nil, fmt.Errorf("h5lite: dataset %q raw %d bytes, need %d", d.Name, len(d.Raw), 2*n)
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = be.Uint16(d.Raw[2*i:])
+	}
+	return out, nil
+}
+
+// Group is an interior node: named children (groups and datasets) plus
+// attributes.
+type Group struct {
+	Name     string
+	Attrs    []Attr
+	groups   map[string]*Group
+	datasets map[string]*Dataset
+}
+
+func newGroup(name string) *Group {
+	return &Group{Name: name, groups: make(map[string]*Group), datasets: make(map[string]*Dataset)}
+}
+
+// Group returns (creating if needed) a child group.
+func (g *Group) Group(name string) *Group {
+	if c, ok := g.groups[name]; ok {
+		return c
+	}
+	c := newGroup(name)
+	g.groups[name] = c
+	return c
+}
+
+// Groups lists child groups sorted by name.
+func (g *Group) Groups() []*Group {
+	out := make([]*Group, 0, len(g.groups))
+	for _, c := range g.groups {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Datasets lists child datasets sorted by name.
+func (g *Group) Datasets() []*Dataset {
+	out := make([]*Dataset, 0, len(g.datasets))
+	for _, d := range g.datasets {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetAttrInt attaches an integer attribute.
+func (g *Group) SetAttrInt(name string, v int64) {
+	g.Attrs = setAttr(g.Attrs, Attr{Name: name, Kind: attrInt, Int: v})
+}
+
+// SetAttrFloat attaches a float attribute.
+func (g *Group) SetAttrFloat(name string, v float64) {
+	g.Attrs = setAttr(g.Attrs, Attr{Name: name, Kind: attrFloat, Float: v})
+}
+
+// SetAttrString attaches a string attribute.
+func (g *Group) SetAttrString(name, v string) {
+	g.Attrs = setAttr(g.Attrs, Attr{Name: name, Kind: attrString, String: v})
+}
+
+// AttrInt reads an integer attribute.
+func (g *Group) AttrInt(name string) (int64, bool) {
+	for _, a := range g.Attrs {
+		if a.Name == name && a.Kind == attrInt {
+			return a.Int, true
+		}
+	}
+	return 0, false
+}
+
+func setAttr(attrs []Attr, a Attr) []Attr {
+	for i := range attrs {
+		if attrs[i].Name == a.Name {
+			attrs[i] = a
+			return attrs
+		}
+	}
+	return append(attrs, a)
+}
+
+// ErrBadDims is returned when dims disagree with the data length.
+var ErrBadDims = errors.New("h5lite: dims disagree with data length")
+
+// CreateDataset adds (or replaces) a raw dataset under the group.
+func (g *Group) CreateDataset(name string, t DType, dims []uint64, raw []byte) (*Dataset, error) {
+	n := uint64(1)
+	for _, d := range dims {
+		n *= d
+	}
+	if uint64(len(raw)) != n*uint64(t.Size()) {
+		return nil, fmt.Errorf("%w: %d elements × %d bytes ≠ %d raw", ErrBadDims, n, t.Size(), len(raw))
+	}
+	d := &Dataset{Name: name, Type: t, Dims: append([]uint64(nil), dims...), Raw: raw}
+	g.datasets[name] = d
+	return d, nil
+}
+
+// CreateUint16 adds a u16 dataset from a slice.
+func (g *Group) CreateUint16(name string, dims []uint64, vals []uint16) (*Dataset, error) {
+	raw := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		be.PutUint16(raw[2*i:], v)
+	}
+	return g.CreateDataset(name, TypeUint16, dims, raw)
+}
+
+// CreateBytes adds a u8 dataset from raw bytes.
+func (g *Group) CreateBytes(name string, data []byte) (*Dataset, error) {
+	return g.CreateDataset(name, TypeUint8, []uint64{uint64(len(data))}, data)
+}
+
+// File is a container with a root group.
+type File struct {
+	Root *Group
+}
+
+// NewFile returns an empty container.
+func NewFile() *File { return &File{Root: newGroup("/")} }
+
+// Open resolves a slash path ("/run1/slice0/msg3") to a dataset.
+func (f *File) Open(path string) (*Dataset, error) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("h5lite: empty path")
+	}
+	g := f.Root
+	for _, p := range parts[:len(parts)-1] {
+		c, ok := g.groups[p]
+		if !ok {
+			return nil, fmt.Errorf("h5lite: group %q not found in %q", p, g.Name)
+		}
+		g = c
+	}
+	d, ok := g.datasets[parts[len(parts)-1]]
+	if !ok {
+		return nil, fmt.Errorf("h5lite: dataset %q not found", parts[len(parts)-1])
+	}
+	return d, nil
+}
+
+// OpenGroup resolves a slash path to a group.
+func (f *File) OpenGroup(path string) (*Group, error) {
+	g := f.Root
+	for _, p := range strings.Split(strings.Trim(path, "/"), "/") {
+		if p == "" {
+			continue
+		}
+		c, ok := g.groups[p]
+		if !ok {
+			return nil, fmt.Errorf("h5lite: group %q not found", p)
+		}
+		g = c
+	}
+	return g, nil
+}
+
+// Walk visits every dataset depth-first with its full path.
+func (f *File) Walk(fn func(path string, d *Dataset)) {
+	var rec func(prefix string, g *Group)
+	rec = func(prefix string, g *Group) {
+		for _, d := range g.Datasets() {
+			fn(prefix+"/"+d.Name, d)
+		}
+		for _, c := range g.Groups() {
+			rec(prefix+"/"+c.Name, c)
+		}
+	}
+	rec("", f.Root)
+}

@@ -1,0 +1,245 @@
+package h5lite
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/daq"
+)
+
+func sampleFile(t *testing.T) *File {
+	t.Helper()
+	f := NewFile()
+	run := f.Root.Group("run1")
+	run.SetAttrInt("run", 1)
+	run.SetAttrString("facility", "iceberg")
+	run.SetAttrFloat("drift_field_kv", 0.5)
+	s0 := run.Group("slice0")
+	if _, err := s0.CreateUint16("adc", []uint64{2, 3}, []uint16{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.CreateBytes("blob", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := sampleFile(t)
+	enc := f.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural equality via re-encode (encoding is deterministic).
+	if !bytes.Equal(got.Encode(), enc) {
+		t.Fatal("round trip not stable")
+	}
+	ds, err := got.Open("/run1/slice0/adc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ds.Uint16s()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vals, []uint16{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("values %v", vals)
+	}
+	g, err := got.OpenGroup("/run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := g.AttrInt("run"); !ok || v != 1 {
+		t.Fatalf("attr run %d %v", v, ok)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	// Insertion order must not matter.
+	a, b := NewFile(), NewFile()
+	a.Root.Group("x").Group("y")
+	a.Root.Group("w")
+	b.Root.Group("w")
+	b.Root.Group("x").Group("y")
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("encoding depends on insertion order")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	f := sampleFile(t)
+	if _, err := f.Open("/nope/adc"); err == nil {
+		t.Fatal("phantom group")
+	}
+	if _, err := f.Open("/run1/slice0/nope"); err == nil {
+		t.Fatal("phantom dataset")
+	}
+	if _, err := f.OpenGroup("/run1/zzz"); err == nil {
+		t.Fatal("phantom group path")
+	}
+}
+
+func TestDimsValidation(t *testing.T) {
+	f := NewFile()
+	if _, err := f.Root.CreateDataset("bad", TypeUint16, []uint64{3}, []byte{1, 2}); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+	ds, err := f.Root.CreateDataset("u8", TypeUint8, []uint64{2}, []byte{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Uint16s(); err == nil {
+		t.Fatal("wrong-typed read accepted")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := sampleFile(t).Encode()
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	if _, err := Decode(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	enc := sampleFile(t).Encode()
+	for i := 0; i < 3000; i++ {
+		b := append([]byte(nil), enc...)
+		// Flip a few random bytes.
+		for j := 0; j < 4; j++ {
+			b[r.Intn(len(b))] ^= byte(1 + r.Intn(255))
+		}
+		_, _ = Decode(b) // must not panic
+	}
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, r.Intn(200))
+		r.Read(b)
+		_, _ = Decode(b)
+	}
+}
+
+func TestAttrsQuick(t *testing.T) {
+	f := func(name string, iv int64, fv float64, sv string) bool {
+		file := NewFile()
+		g := file.Root.Group("g")
+		g.SetAttrInt(name, iv)
+		g.SetAttrFloat(name+"f", fv)
+		g.SetAttrString(name+"s", sv)
+		got, err := Decode(file.Encode())
+		if err != nil {
+			return false
+		}
+		gg, err := got.OpenGroup("/g")
+		if err != nil {
+			return false
+		}
+		v, ok := gg.AttrInt(name)
+		return ok && v == iv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	f := sampleFile(t)
+	var paths []string
+	f.Walk(func(p string, d *Dataset) { paths = append(paths, p) })
+	if len(paths) != 2 {
+		t.Fatalf("walked %v", paths)
+	}
+	if paths[0] != "/run1/slice0/adc" || paths[1] != "/run1/slice0/blob" {
+		t.Fatalf("paths %v", paths)
+	}
+}
+
+func TestArchiverTranscodesLArTPC(t *testing.T) {
+	src := daq.NewLArTPC(daq.DefaultLArTPC(2, 5, 17))
+	arch := NewArchiver(true)
+	recs := daq.Drain(src, 0)
+	for _, rec := range recs {
+		if err := arch.Archive(rec.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if arch.Archived != 5 || arch.Malformed != 0 {
+		t.Fatalf("archived=%d malformed=%d", arch.Archived, arch.Malformed)
+	}
+	// The file round-trips and the waveforms come back bit-exact.
+	got, err := Decode(arch.File.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := got.Open("/run1/slice2/msg0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Dims) != 2 || ds.Dims[0] != 64 || ds.Dims[1] != 64 {
+		t.Fatalf("dims %v", ds.Dims)
+	}
+	stored, err := ds.Uint16s()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h daq.Header
+	n, _ := h.DecodeFromBytes(recs[0].Data)
+	var w daq.WIBHeader
+	wn, _ := w.DecodeFromBytes(recs[0].Data[n:])
+	orig, err := daq.UnpackADC(recs[0].Data[n+wn:], 64*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stored, orig) {
+		t.Fatal("waveform corrupted in transcoding")
+	}
+}
+
+func TestArchiverRawFallback(t *testing.T) {
+	src := daq.NewGeneric(daq.GenericConfig{MessageSize: 64, Interval: 1, Count: 3, Seed: 1})
+	arch := NewArchiver(true)
+	for _, rec := range daq.Drain(src, 0) {
+		if err := arch.Archive(rec.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := arch.File.Open("/run0/slice0/msg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Type != TypeUint8 || ds.Elements() != 64 {
+		t.Fatalf("dataset %v %d", ds.Type, ds.Elements())
+	}
+}
+
+func TestArchiverRejectsGarbage(t *testing.T) {
+	arch := NewArchiver(false)
+	if err := arch.Archive([]byte{1, 2}); err == nil {
+		t.Fatal("garbage archived")
+	}
+	if arch.Malformed != 1 {
+		t.Fatalf("malformed %d", arch.Malformed)
+	}
+}
+
+func TestDTypeStringsAndSizes(t *testing.T) {
+	for _, dt := range []DType{TypeUint8, TypeUint16, TypeInt16, TypeUint32, TypeUint64, TypeFloat64} {
+		if dt.Size() == 0 || dt.String() == "" {
+			t.Fatalf("dtype %d broken", dt)
+		}
+	}
+	if DType(99).Size() != 0 {
+		t.Fatal("unknown dtype has a size")
+	}
+}

@@ -1,0 +1,319 @@
+// Package live runs the DMTP wire protocol over real UDP sockets: a
+// userspace proof path alongside the simulator (the reproduction band for
+// this paper notes "userspace transport possible, no programmable-HW
+// path"). Three processes-worth of roles are provided:
+//
+//   - Sender: the instrument source, emitting mode-0 datagrams;
+//   - Relay: the software network element / first-line DTN, which upgrades
+//     the mode in flight (sequence numbers, buffer pointer, origin
+//     timestamp, age budget), buffers packets, and serves NAKs — the same
+//     header rewriting the p4sim pipeline performs, but on a socket;
+//   - Receiver: loss detection, NAK-based recovery from the relay, the
+//     destination timeliness check, and message delivery.
+//
+// The cmd/dmtp-send, cmd/dmtp-relay and cmd/dmtp-recv tools wrap these
+// roles for interactive use on loopback or a real LAN.
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// now returns the wall clock as protocol nanoseconds.
+func now() uint64 { return uint64(time.Now().UnixNano()) }
+
+// toWireAddr converts a UDP address to the protocol's 4-byte form.
+func toWireAddr(a *net.UDPAddr) (wire.Addr, error) {
+	ip4 := a.IP.To4()
+	if ip4 == nil {
+		return wire.Addr{}, fmt.Errorf("live: %v is not IPv4 (DMTP extension fields carry IPv4)", a.IP)
+	}
+	var w wire.Addr
+	copy(w.IP[:], ip4)
+	w.Port = uint16(a.Port)
+	return w, nil
+}
+
+// toUDPAddr converts a protocol address back to a dialable UDP address.
+func toUDPAddr(a wire.Addr) *net.UDPAddr {
+	return &net.UDPAddr{IP: net.IPv4(a.IP[0], a.IP[1], a.IP[2], a.IP[3]), Port: int(a.Port)}
+}
+
+// Sender emits DAQ messages as mode-0 DMTP datagrams over UDP.
+type Sender struct {
+	conn       *net.UDPConn
+	experiment uint32
+
+	mu   sync.Mutex
+	sent uint64
+}
+
+// NewSender dials the relay (or receiver) at dst.
+func NewSender(dst string, experiment uint32) (*Sender, error) {
+	raddr, err := net.ResolveUDPAddr("udp4", dst)
+	if err != nil {
+		return nil, fmt.Errorf("live: resolve %q: %w", dst, err)
+	}
+	conn, err := net.DialUDP("udp4", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: dial %q: %w", dst, err)
+	}
+	return &Sender{conn: conn, experiment: experiment}, nil
+}
+
+// Send emits one message for the given instrument slice.
+func (s *Sender) Send(msg []byte, slice uint8) error {
+	h := wire.Header{
+		ConfigID:   0,
+		Experiment: wire.NewExperimentID(s.experiment, slice),
+	}
+	pkt, err := h.AppendTo(make([]byte, 0, wire.CoreHeaderLen+len(msg)))
+	if err != nil {
+		return err
+	}
+	pkt = append(pkt, msg...)
+	if _, err := s.conn.Write(pkt); err != nil {
+		return fmt.Errorf("live: send: %w", err)
+	}
+	s.mu.Lock()
+	s.sent++
+	s.mu.Unlock()
+	return nil
+}
+
+// Sent returns the number of messages emitted.
+func (s *Sender) Sent() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}
+
+// LocalAddr returns the sender's bound address.
+func (s *Sender) LocalAddr() string { return s.conn.LocalAddr().String() }
+
+// Close releases the socket.
+func (s *Sender) Close() error { return s.conn.Close() }
+
+// RelayConfig configures the software network element.
+type RelayConfig struct {
+	// Listen is the UDP address to bind, e.g. "127.0.0.1:17580".
+	Listen string
+	// Forward is where upgraded packets are sent (the receiver).
+	Forward string
+	// MaxAge is the age budget installed into upgraded packets.
+	MaxAge time.Duration
+	// DeadlineBudget is the delivery budget; zero disables deadlines.
+	DeadlineBudget time.Duration
+	// CapacityBytes bounds the retransmission buffer (default 64 MiB).
+	CapacityBytes int
+	// DropEveryN, when > 0, deliberately drops every Nth forwarded data
+	// packet — fault injection so loopback demos exercise recovery.
+	DropEveryN int
+}
+
+// RelayStats are cumulative relay counters.
+type RelayStats struct {
+	Upgraded      uint64
+	Forwarded     uint64
+	InjectedDrops uint64
+	NAKs          uint64
+	Retransmits   uint64
+	Misses        uint64
+}
+
+type relayKey struct {
+	exp wire.ExperimentID
+	seq uint64
+}
+
+// Relay is the live-path network element + buffer.
+type Relay struct {
+	cfg     RelayConfig
+	conn    *net.UDPConn
+	fwdAddr *net.UDPAddr
+	self    wire.Addr
+
+	mu     sync.Mutex
+	stats  RelayStats
+	seqs   map[wire.ExperimentID]uint64
+	store  map[relayKey][]byte
+	order  []relayKey
+	bytes  int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewRelay binds the relay and starts its receive loop.
+func NewRelay(cfg RelayConfig) (*Relay, error) {
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = 64 << 20
+	}
+	laddr, err := net.ResolveUDPAddr("udp4", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("live: resolve listen %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp4", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %q: %w", cfg.Listen, err)
+	}
+	// DAQ senders burst; a deep receive buffer is the userspace analogue
+	// of the DTN tuning the paper describes.
+	conn.SetReadBuffer(8 << 20)
+	fwd, err := net.ResolveUDPAddr("udp4", cfg.Forward)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("live: resolve forward %q: %w", cfg.Forward, err)
+	}
+	self, err := toWireAddr(conn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if self.IP == ([4]byte{0, 0, 0, 0}) {
+		// Bound to the wildcard: advertise loopback so NAKs can reach us
+		// in single-host deployments.
+		self.IP = [4]byte{127, 0, 0, 1}
+	}
+	r := &Relay{
+		cfg:     cfg,
+		conn:    conn,
+		fwdAddr: fwd,
+		self:    self,
+		seqs:    make(map[wire.ExperimentID]uint64),
+		store:   make(map[relayKey][]byte),
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r, nil
+}
+
+// Addr returns the relay's bound address as a string.
+func (r *Relay) Addr() string { return r.conn.LocalAddr().String() }
+
+// WireAddr returns the relay's protocol address (what headers point at).
+func (r *Relay) WireAddr() wire.Addr { return r.self }
+
+// Stats returns a snapshot of the counters.
+func (r *Relay) Stats() RelayStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Close stops the relay.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	err := r.conn.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *Relay) loop() {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		r.handle(pkt)
+	}
+}
+
+func (r *Relay) handle(pkt []byte) {
+	v := wire.View(pkt)
+	if _, err := v.Check(); err != nil {
+		return
+	}
+	if v.IsControl() {
+		r.handleControl(pkt, v)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v.ConfigID() != 0 {
+		// Already upgraded: forward unmodified.
+		r.conn.WriteToUDP(pkt, r.fwdAddr)
+		r.stats.Forwarded++
+		return
+	}
+	up, err := v.Reshape(1, wire.FeatSequenced|wire.FeatReliable|wire.FeatAgeTracked|wire.FeatTimely|wire.FeatTimestamped)
+	if err != nil {
+		return
+	}
+	exp := up.Experiment()
+	r.seqs[exp]++
+	seq := r.seqs[exp]
+	up.SetSeq(seq)
+	up.SetRetransmitBuffer(r.self)
+	up.SetMaxAge(uint32(r.cfg.MaxAge / time.Microsecond))
+	if r.cfg.DeadlineBudget > 0 {
+		up.SetDeadline(now()+uint64(r.cfg.DeadlineBudget), wire.Addr{})
+	}
+	up.SetOriginTimestamp(now())
+	r.stats.Upgraded++
+	r.stash(exp, seq, up)
+	if r.cfg.DropEveryN > 0 && seq%uint64(r.cfg.DropEveryN) == 0 {
+		r.stats.InjectedDrops++
+		return
+	}
+	r.conn.WriteToUDP(up, r.fwdAddr)
+	r.stats.Forwarded++
+}
+
+func (r *Relay) stash(exp wire.ExperimentID, seq uint64, pkt []byte) {
+	cp := append([]byte(nil), pkt...)
+	for r.bytes+len(cp) > r.cfg.CapacityBytes && len(r.order) > 0 {
+		k := r.order[0]
+		r.order = r.order[1:]
+		if old, ok := r.store[k]; ok {
+			r.bytes -= len(old)
+			delete(r.store, k)
+		}
+	}
+	k := relayKey{exp, seq}
+	r.store[k] = cp
+	r.order = append(r.order, k)
+	r.bytes += len(cp)
+}
+
+func (r *Relay) handleControl(pkt []byte, v wire.View) {
+	if v.ConfigID() != wire.ConfigNAK {
+		return
+	}
+	nak, err := wire.DecodeNAK(pkt)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.NAKs++
+	dst := toUDPAddr(nak.Requester)
+	for _, rg := range nak.Ranges {
+		for seq := rg.From; seq <= rg.To; seq++ {
+			if data, ok := r.store[relayKey{nak.Experiment, seq}]; ok {
+				r.conn.WriteToUDP(data, dst)
+				r.stats.Retransmits++
+			} else {
+				r.stats.Misses++
+			}
+			if seq == rg.To {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// ReceiverConfig configures the live-path destination.
+type ReceiverConfig struct {
+	// Listen is the UDP address to bind.
+	Listen string
+	// NAKDelay is the reorder tolerance before the first NAK (default 2 ms).
+	NAKDelay time.Duration
+	// NAKRetry is the retry timeout (default 20 ms).
+	NAKRetry time.Duration
+	// MaxNAKs bounds recovery attempts (default 5).
+	MaxNAKs int
+	// OnMessage delivers each message; called from the receive goroutine.
+	OnMessage func(m Message)
+}
+
+// Message is one delivered message on the live path.
+type Message struct {
+	Experiment wire.ExperimentID
+	Seq        uint64
+	Payload    []byte
+	Latency    time.Duration // origin→delivery; -1 if untimestamped
+	Aged       bool
+	Late       bool
+	Recovered  bool
+}
+
+// ReceiverStats are cumulative receiver counters.
+type ReceiverStats struct {
+	Received   uint64
+	Delivered  uint64
+	Duplicates uint64
+	NAKsSent   uint64
+	Recovered  uint64
+	Lost       uint64
+	Aged       uint64
+	Late       uint64
+}
+
+type liveMissing struct {
+	detected time.Time
+	naks     int
+	nextNAK  time.Time
+}
+
+type liveStream struct {
+	maxSeen  uint64
+	floor    uint64
+	received map[uint64]bool
+	missing  map[uint64]*liveMissing
+	buffer   wire.Addr
+}
+
+// Receiver is the live-path destination endpoint.
+type Receiver struct {
+	cfg  ReceiverConfig
+	conn *net.UDPConn
+	self wire.Addr
+
+	mu      sync.Mutex
+	stats   ReceiverStats
+	streams map[wire.ExperimentID]*liveStream
+	closed  bool
+	wg      sync.WaitGroup
+
+	// LatencyHist records origin→delivery latency (mutex-guarded).
+	LatencyHist *telemetry.Histogram
+}
+
+// NewReceiver binds the receiver and starts its loops.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	if cfg.NAKDelay == 0 {
+		cfg.NAKDelay = 2 * time.Millisecond
+	}
+	if cfg.NAKRetry == 0 {
+		cfg.NAKRetry = 20 * time.Millisecond
+	}
+	if cfg.MaxNAKs == 0 {
+		cfg.MaxNAKs = 5
+	}
+	laddr, err := net.ResolveUDPAddr("udp4", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("live: resolve %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp4", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %q: %w", cfg.Listen, err)
+	}
+	conn.SetReadBuffer(8 << 20)
+	self, err := toWireAddr(conn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if self.IP == ([4]byte{0, 0, 0, 0}) {
+		self.IP = [4]byte{127, 0, 0, 1}
+	}
+	r := &Receiver{
+		cfg:         cfg,
+		conn:        conn,
+		self:        self,
+		streams:     make(map[wire.ExperimentID]*liveStream),
+		LatencyHist: telemetry.NewHistogram(),
+	}
+	r.wg.Add(2)
+	go r.readLoop()
+	go r.nakLoop()
+	return r, nil
+}
+
+// Addr returns the bound address.
+func (r *Receiver) Addr() string { return r.conn.LocalAddr().String() }
+
+// Stats returns a snapshot.
+func (r *Receiver) Stats() ReceiverStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// OutstandingGaps returns missing sequence numbers awaiting recovery.
+func (r *Receiver) OutstandingGaps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, st := range r.streams {
+		n += len(st.missing)
+	}
+	return n
+}
+
+// Close stops the receiver.
+func (r *Receiver) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	err := r.conn.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *Receiver) readLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		r.handle(pkt)
+	}
+}
+
+func (r *Receiver) handle(pkt []byte) {
+	v := wire.View(pkt)
+	if _, err := v.Check(); err != nil || v.IsControl() {
+		return
+	}
+	t := time.Now()
+	r.mu.Lock()
+	r.stats.Received++
+	feats := v.Features()
+	msg := Message{Experiment: v.Experiment(), Latency: -1}
+	if feats.Has(wire.FeatTimestamped) {
+		if origin, err := v.OriginTimestamp(); err == nil && origin > 0 {
+			msg.Latency = time.Duration(uint64(t.UnixNano()) - origin)
+			r.LatencyHist.ObserveDuration(msg.Latency)
+		}
+	}
+	if feats.Has(wire.FeatAgeTracked) {
+		if age, err := v.Age(); err == nil {
+			aged := age.Aged()
+			if !aged && age.MaxAgeMicros > 0 && msg.Latency >= 0 &&
+				uint64(msg.Latency/time.Microsecond) >= uint64(age.MaxAgeMicros) {
+				aged = true
+			}
+			if aged {
+				msg.Aged = true
+				r.stats.Aged++
+			}
+		}
+	}
+	if feats.Has(wire.FeatTimely) {
+		if deadline, _, err := v.Deadline(); err == nil && deadline != 0 && uint64(t.UnixNano()) > deadline {
+			msg.Late = true
+			r.stats.Late++
+		}
+	}
+	if !feats.Has(wire.FeatSequenced) {
+		r.deliverLocked(v, msg)
+		return
+	}
+	seq, err := v.Seq()
+	if err != nil || seq == 0 {
+		r.deliverLocked(v, msg)
+		return
+	}
+	msg.Seq = seq
+	st := r.stream(msg.Experiment)
+	if feats.Has(wire.FeatReliable) {
+		if buf, err := v.RetransmitBuffer(); err == nil && !buf.IsZero() {
+			st.buffer = buf
+		}
+	}
+	if seq <= st.floor || st.received[seq] {
+		r.stats.Duplicates++
+		r.mu.Unlock()
+		return
+	}
+	st.received[seq] = true
+	if m, was := st.missing[seq]; was {
+		delete(st.missing, seq)
+		// Only NAKed arrivals count as recovered; earlier ones were
+		// merely reordered in flight.
+		if m.naks > 0 {
+			msg.Recovered = true
+			r.stats.Recovered++
+		}
+	}
+	if seq > st.maxSeen {
+		for s := st.maxSeen + 1; s < seq; s++ {
+			if s > st.floor && !st.received[s] {
+				st.missing[s] = &liveMissing{detected: t, nextNAK: t.Add(r.cfg.NAKDelay)}
+			}
+		}
+		st.maxSeen = seq
+	}
+	for st.received[st.floor+1] {
+		delete(st.received, st.floor+1)
+		st.floor++
+	}
+	r.deliverLocked(v, msg)
+}
+
+// deliverLocked finalises delivery; r.mu is held on entry and released here.
+func (r *Receiver) deliverLocked(v wire.View, msg Message) {
+	msg.Payload = append([]byte(nil), v.Payload()...)
+	r.stats.Delivered++
+	cb := r.cfg.OnMessage
+	r.mu.Unlock()
+	if cb != nil {
+		cb(msg)
+	}
+}
+
+func (r *Receiver) stream(exp wire.ExperimentID) *liveStream {
+	st, ok := r.streams[exp]
+	if !ok {
+		st = &liveStream{received: make(map[uint64]bool), missing: make(map[uint64]*liveMissing)}
+		r.streams[exp] = st
+	}
+	return st
+}
+
+// nakLoop periodically fires due NAKs. A production implementation would
+// use per-stream timers; a 1 ms sweep is ample for the live demo.
+func (r *Receiver) nakLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for t := range tick.C {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		type sendReq struct {
+			dst    wire.Addr
+			packet []byte
+		}
+		var sends []sendReq
+		for exp, st := range r.streams {
+			var due []uint64
+			for seq, m := range st.missing {
+				if m.nextNAK.After(t) {
+					continue
+				}
+				if m.naks >= r.cfg.MaxNAKs {
+					delete(st.missing, seq)
+					st.received[seq] = true
+					r.stats.Lost++
+					continue
+				}
+				due = append(due, seq)
+				m.naks++
+				m.nextNAK = t.Add(r.cfg.NAKRetry << (m.naks - 1))
+			}
+			for st.received[st.floor+1] {
+				delete(st.received, st.floor+1)
+				st.floor++
+			}
+			if len(due) == 0 || st.buffer.IsZero() {
+				continue
+			}
+			nak := wire.NAK{Experiment: exp, Requester: r.self, Ranges: seqsToRanges(due)}
+			if data, err := nak.AppendTo(nil); err == nil {
+				sends = append(sends, sendReq{dst: st.buffer, packet: data})
+				r.stats.NAKsSent++
+			}
+		}
+		r.mu.Unlock()
+		for _, s := range sends {
+			r.conn.WriteToUDP(s.packet, toUDPAddr(s.dst))
+		}
+	}
+}
+
+// seqsToRanges compresses sorted-or-not sequence numbers into ranges.
+func seqsToRanges(seqs []uint64) []wire.SeqRange {
+	for i := 1; i < len(seqs); i++ {
+		for j := i; j > 0 && seqs[j] < seqs[j-1]; j-- {
+			seqs[j], seqs[j-1] = seqs[j-1], seqs[j]
+		}
+	}
+	var out []wire.SeqRange
+	for _, s := range seqs {
+		if n := len(out); n > 0 && s <= out[n-1].To+1 {
+			out[n-1].To = s
+			continue
+		}
+		out = append(out, wire.SeqRange{From: s, To: s})
+	}
+	return out
+}

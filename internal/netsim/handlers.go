@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Host is a single-NIC endpoint whose received frames are passed to a
+// callback. Transport endpoints (internal/core, internal/baseline) embed or
+// wrap a Host.
+type Host struct {
+	node *Node
+	// Recv is invoked for every delivered frame. It may be nil, in which
+	// case frames are counted but discarded.
+	Recv func(f *Frame)
+	// Received counts delivered frames.
+	Received uint64
+}
+
+// Attach implements Handler.
+func (h *Host) Attach(n *Node) { h.node = n }
+
+// HandleFrame implements Handler.
+func (h *Host) HandleFrame(_ *Port, f *Frame) {
+	h.Received++
+	if h.Recv != nil {
+		h.Recv(f)
+	}
+}
+
+// Node returns the node the host is attached to.
+func (h *Host) Node() *Node { return h.node }
+
+// Router is a static-routing forwarder: frames are forwarded out the port
+// chosen by longest-match on destination address (exact address first, then
+// a default). It models the plain border/WAN routers of Fig. 2 that today's
+// DAQ traffic crosses without in-network transport support.
+type Router struct {
+	node        *Node
+	routes      map[wire.Addr]int
+	defaultPort int
+	hasDefault  bool
+	// Forwarded counts forwarded frames.
+	Forwarded uint64
+	// NoRoute counts frames dropped for lack of a route.
+	NoRoute uint64
+}
+
+// NewRouter returns an empty router; add routes with Route and SetDefault.
+func NewRouter() *Router {
+	return &Router{routes: make(map[wire.Addr]int)}
+}
+
+// Attach implements Handler.
+func (r *Router) Attach(n *Node) { r.node = n }
+
+// Route installs an exact-match route: frames to dst leave via port index.
+func (r *Router) Route(dst wire.Addr, port int) *Router {
+	r.routes[dst] = port
+	return r
+}
+
+// SetDefault installs the default route.
+func (r *Router) SetDefault(port int) *Router {
+	r.defaultPort, r.hasDefault = port, true
+	return r
+}
+
+// Lookup returns the egress port index for dst and whether a route exists.
+func (r *Router) Lookup(dst wire.Addr) (int, bool) {
+	if p, ok := r.routes[dst]; ok {
+		return p, true
+	}
+	if r.hasDefault {
+		return r.defaultPort, true
+	}
+	return 0, false
+}
+
+// HandleFrame implements Handler.
+func (r *Router) HandleFrame(ingress *Port, f *Frame) {
+	out, ok := r.Lookup(f.Dst)
+	if !ok {
+		r.NoRoute++
+		r.node.Net.observeDrop(ingress, f)
+		return
+	}
+	if out == ingress.Index {
+		// Forwarding back out the ingress port indicates a topology bug.
+		panic(fmt.Sprintf("netsim: router %q would hairpin frame for %v on port %d", r.node.Name, f.Dst, out))
+	}
+	r.Forwarded++
+	r.node.Port(out).Send(f)
+}
+
+// Sink is a handler that silently counts frames; useful as a stand-in for
+// downstream infrastructure an experiment does not model.
+type Sink struct {
+	Count uint64
+	Bytes uint64
+}
+
+// Attach implements Handler.
+func (s *Sink) Attach(*Node) {}
+
+// HandleFrame implements Handler.
+func (s *Sink) HandleFrame(_ *Port, f *Frame) {
+	s.Count++
+	s.Bytes += uint64(len(f.Data))
+}

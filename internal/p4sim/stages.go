@@ -1,0 +1,600 @@
+package p4sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// WildcardPort matches any ingress port in ModeChanger rules.
+const WildcardPort = -1
+
+// ModeAction describes how a packet's mode is rewritten when a rule hits:
+// which features to activate or deactivate, and the configuration values to
+// install into newly added extension fields (paper §5.2: "Activating a mode
+// involves updating the core header and adding mode-specific extension
+// headers").
+type ModeAction struct {
+	NewConfigID uint8
+	Set, Clear  wire.Features
+
+	// RetransmitBuffer is installed when FeatReliable is newly set, and
+	// also overwrites the existing buffer when RepointBuffer is true —
+	// the "more recent retransmission buffer" rewrite of §5.1.
+	RetransmitBuffer wire.Addr
+	RepointBuffer    bool
+
+	// MaxAgeMicros is installed when FeatAgeTracked is newly set.
+	MaxAgeMicros uint32
+
+	// DeadlineBudget and DeadlineNotify configure FeatTimely: the
+	// deadline is set to now + budget when the feature is newly set.
+	DeadlineBudget time.Duration
+	DeadlineNotify wire.Addr
+
+	// PaceRateMbps/PaceBurstKB configure FeatPaced when newly set.
+	PaceRateMbps uint32
+	PaceBurstKB  uint32
+
+	// BackPressureSink configures FeatBackPressure when newly set.
+	BackPressureSink wire.Addr
+
+	// DupGroup/DupScope configure FeatDuplicate when newly set.
+	DupGroup uint32
+	DupScope uint8
+}
+
+type modeKey struct {
+	port     int
+	configID uint8
+}
+
+// ModeChanger is the mode-transition table: it matches (ingress port,
+// config ID) and rewrites the packet's mode. It is the central mechanism of
+// the paper — "the transport's mode is changed by on-path network
+// elements" (§5.3).
+type ModeChanger struct {
+	rules map[modeKey]ModeAction
+	// Transitions counts applied mode changes.
+	Transitions uint64
+}
+
+// NewModeChanger returns an empty mode table.
+func NewModeChanger() *ModeChanger {
+	return &ModeChanger{rules: make(map[modeKey]ModeAction)}
+}
+
+// Rule installs a mode transition for packets arriving on port (or
+// WildcardPort) in mode fromConfigID.
+func (m *ModeChanger) Rule(port int, fromConfigID uint8, act ModeAction) *ModeChanger {
+	m.rules[modeKey{port, fromConfigID}] = act
+	return m
+}
+
+// Name implements Stage.
+func (m *ModeChanger) Name() string { return "mode-changer" }
+
+// Process implements Stage.
+func (m *ModeChanger) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
+	if pkt.IsControl() {
+		return nil, nil
+	}
+	act, ok := m.rules[modeKey{meta.IngressPort, pkt.ConfigID()}]
+	if !ok {
+		act, ok = m.rules[modeKey{WildcardPort, pkt.ConfigID()}]
+		if !ok {
+			return nil, nil
+		}
+	}
+	before := pkt.Features()
+	want := before&^act.Clear | act.Set
+	out, err := pkt.Reshape(act.NewConfigID, want)
+	if err != nil {
+		return nil, err
+	}
+	added := want &^ before
+	if added.Has(wire.FeatReliable) || (act.RepointBuffer && want.Has(wire.FeatReliable)) {
+		if err := out.SetRetransmitBuffer(act.RetransmitBuffer); err != nil {
+			return nil, err
+		}
+	}
+	if added.Has(wire.FeatAgeTracked) {
+		if err := out.SetMaxAge(act.MaxAgeMicros); err != nil {
+			return nil, err
+		}
+	}
+	if added.Has(wire.FeatTimely) {
+		deadline := ctx.Now().Add(act.DeadlineBudget).Nanos()
+		if err := out.SetDeadline(deadline, act.DeadlineNotify); err != nil {
+			return nil, err
+		}
+	}
+	if added.Has(wire.FeatPaced) {
+		if err := out.SetPace(wire.PaceExt{RateMbps: act.PaceRateMbps, BurstKB: act.PaceBurstKB}); err != nil {
+			return nil, err
+		}
+	}
+	if added.Has(wire.FeatBackPressure) {
+		if err := setBackPressureSink(out, act.BackPressureSink, 0); err != nil {
+			return nil, err
+		}
+	}
+	if added.Has(wire.FeatDuplicate) {
+		if err := setDup(out, act.DupGroup, act.DupScope); err != nil {
+			return nil, err
+		}
+	}
+	if added.Has(wire.FeatTimestamped) {
+		if err := out.SetOriginTimestamp(ctx.Now().Nanos()); err != nil {
+			return nil, err
+		}
+	}
+	m.Transitions++
+	return out, nil
+}
+
+// setBackPressureSink writes the full back-pressure extension. wire.View
+// only exposes a level setter (the common in-flight mutation), so the mode
+// changer reaches the field through the offset API.
+func setBackPressureSink(v wire.View, sink wire.Addr, level uint8) error {
+	off, err := v.Features().ExtOffset(wire.FeatBackPressure)
+	if err != nil {
+		return err
+	}
+	b := v[wire.CoreHeaderLen+off:]
+	copy(b[:4], sink.IP[:])
+	b[4] = byte(sink.Port >> 8)
+	b[5] = byte(sink.Port)
+	b[6] = level
+	return nil
+}
+
+func setDup(v wire.View, group uint32, scope uint8) error {
+	off, err := v.Features().ExtOffset(wire.FeatDuplicate)
+	if err != nil {
+		return err
+	}
+	b := v[wire.CoreHeaderLen+off:]
+	b[0], b[1], b[2], b[3] = byte(group>>24), byte(group>>16), byte(group>>8), byte(group)
+	b[4] = scope
+	return nil
+}
+
+// Sequencer assigns per-flow sequence numbers to loss-recoverable streams
+// (paper §5.4: "Network elements add a sequence number to loss-recoverable
+// streams"). Sequence numbers start at 1; 0 means "unassigned", so
+// retransmitted packets (which already carry their number) pass through
+// untouched. Flows are indexed by experiment ID into a register array.
+type Sequencer struct {
+	// Slots sizes the flow register array.
+	Slots int
+	// Assigned counts sequence numbers handed out.
+	Assigned uint64
+}
+
+// Name implements Stage.
+func (s *Sequencer) Name() string { return "sequencer" }
+
+// Process implements Stage.
+func (s *Sequencer) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
+	if pkt.IsControl() || !pkt.Features().Has(wire.FeatSequenced) {
+		return nil, nil
+	}
+	seq, err := pkt.Seq()
+	if err != nil {
+		return nil, err
+	}
+	if seq != 0 {
+		return nil, nil // already assigned (e.g. a retransmission)
+	}
+	slots := s.Slots
+	if slots == 0 {
+		slots = 4096
+	}
+	reg := ctx.Register("seq", slots)
+	next := reg.FetchAdd(uint64(pkt.Experiment()), 1) + 1
+	if err := pkt.SetSeq(next); err != nil {
+		return nil, err
+	}
+	s.Assigned++
+	return nil, nil
+}
+
+// AgeTracker accumulates packet age and sets the aged flag (paper §5.4:
+// "An element updates an 'age' field, and it additionally updates an 'aged'
+// flag if a maximum age threshold was exceeded by the time the packet
+// reached that network element").
+//
+// If the packet carries an origin timestamp (FeatTimestamped) the age is
+// set exactly to now−origin — scientific facilities run synchronised clocks
+// (PTP/White Rabbit), which the paper's deployment presumes. Otherwise the
+// per-ingress-port static delta (an operator-configured estimate of the
+// upstream segment latency) is added.
+type AgeTracker struct {
+	// PortDeltaMicros maps ingress port → age increment; WildcardPort
+	// supplies the default.
+	PortDeltaMicros map[int]uint32
+	// AgedSeen counts packets observed with (or given) the aged flag.
+	AgedSeen uint64
+}
+
+// Name implements Stage.
+func (a *AgeTracker) Name() string { return "age-tracker" }
+
+// Process implements Stage.
+func (a *AgeTracker) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
+	if pkt.IsControl() || !pkt.Features().Has(wire.FeatAgeTracked) {
+		return nil, nil
+	}
+	var aged bool
+	if origin, err := pkt.OriginTimestamp(); err == nil && origin > 0 {
+		now := ctx.Now().Nanos()
+		var ageMicros uint64
+		if now > origin {
+			ageMicros = (now - origin) / 1000
+		}
+		cur, err := pkt.Age()
+		if err != nil {
+			return nil, err
+		}
+		delta := uint32(0)
+		if ageMicros > uint64(cur.AgeMicros) {
+			d := ageMicros - uint64(cur.AgeMicros)
+			if d > uint64(^uint32(0)) {
+				d = uint64(^uint32(0))
+			}
+			delta = uint32(d)
+		}
+		aged, err = pkt.AddAge(delta)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		delta, ok := a.PortDeltaMicros[meta.IngressPort]
+		if !ok {
+			delta = a.PortDeltaMicros[WildcardPort]
+		}
+		var err error
+		aged, err = pkt.AddAge(delta)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if aged {
+		a.AgedSeen++
+	}
+	return nil, nil
+}
+
+// DeadlineMarker checks FeatTimely deadlines and mints a DeadlineExceeded
+// notification toward the configured sink when a packet is late. A register
+// array suppresses notification floods: per experiment, at most one
+// notification per SuppressWindow.
+type DeadlineMarker struct {
+	// Reporter identifies this element in notifications.
+	Reporter wire.Addr
+	// SuppressWindow rate-limits notifications per experiment; zero means
+	// notify on every late packet.
+	SuppressWindow time.Duration
+	// DropExpired also drops late packets (an ablation knob; the default
+	// pilot behaviour is mark-and-forward).
+	DropExpired bool
+	// Exceeded counts late packets observed.
+	Exceeded uint64
+	// Notified counts minted notifications.
+	Notified uint64
+}
+
+// Name implements Stage.
+func (d *DeadlineMarker) Name() string { return "deadline-marker" }
+
+// Process implements Stage.
+func (d *DeadlineMarker) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
+	if pkt.IsControl() || !pkt.Features().Has(wire.FeatTimely) {
+		return nil, nil
+	}
+	deadline, notify, err := pkt.Deadline()
+	if err != nil {
+		return nil, err
+	}
+	now := ctx.Now().Nanos()
+	if deadline == 0 || now <= deadline {
+		return nil, nil
+	}
+	d.Exceeded++
+	suppress := false
+	if d.SuppressWindow > 0 {
+		reg := ctx.Register("deadline-suppress", 1024)
+		last := reg.Read(uint64(pkt.Experiment()))
+		if last != 0 && now-last < uint64(d.SuppressWindow) {
+			suppress = true
+		} else {
+			reg.Write(uint64(pkt.Experiment()), now)
+		}
+	}
+	if !suppress && !notify.IsZero() {
+		seq, _ := pkt.Seq() // zero when unsequenced; still useful
+		note := wire.DeadlineExceeded{
+			Experiment:    pkt.Experiment(),
+			Seq:           seq,
+			DeadlineNanos: deadline,
+			ObservedNanos: now,
+			Reporter:      d.Reporter,
+		}
+		data, err := note.AppendTo(nil)
+		if err != nil {
+			return nil, err
+		}
+		meta.Mints = append(meta.Mints, Mint{Dst: notify, Data: data})
+		d.Notified++
+	}
+	if d.DropExpired {
+		meta.Drop = true
+		meta.DropReason = "deadline expired"
+	}
+	return nil, nil
+}
+
+// Duplicator clones packets of duplication groups toward additional
+// consumers (paper §5.1: "Streams can be duplicated in the network to reach
+// several downstream researchers directly"). The group table maps a
+// duplication group to egress targets; the remaining scope is decremented
+// on copies so chains of duplicators terminate.
+type Duplicator struct {
+	groups map[uint32][]Copy
+	// Duplicated counts minted copies.
+	Duplicated uint64
+}
+
+// NewDuplicator returns an empty duplication table.
+func NewDuplicator() *Duplicator {
+	return &Duplicator{groups: make(map[uint32][]Copy)}
+}
+
+// Group installs duplication targets for a group ID.
+func (d *Duplicator) Group(id uint32, targets ...Copy) *Duplicator {
+	d.groups[id] = append(d.groups[id], targets...)
+	return d
+}
+
+// Name implements Stage.
+func (d *Duplicator) Name() string { return "duplicator" }
+
+// Process implements Stage.
+func (d *Duplicator) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
+	if pkt.IsControl() || !pkt.Features().Has(wire.FeatDuplicate) {
+		return nil, nil
+	}
+	dup, err := pkt.Dup()
+	if err != nil {
+		return nil, err
+	}
+	if dup.Scope == 0 {
+		return nil, nil
+	}
+	targets := d.groups[dup.Group]
+	for _, tgt := range targets {
+		cp := pkt.Clone()
+		if err := cp.SetDupScope(dup.Scope - 1); err != nil {
+			return nil, err
+		}
+		meta.Copies = append(meta.Copies, Copy{Port: tgt.Port, Dst: tgt.Dst, Pkt: cp})
+		d.Duplicated++
+	}
+	return nil, nil
+}
+
+// BackPressureMonitor inspects the chosen egress queue and relays a
+// back-pressure signal toward the configured sink when occupancy crosses
+// the threshold (paper §5.1: "if an element receives signals of downstream
+// congestion or loss, it can relay a back-pressure signal to the sender").
+// It must run after the Forwarder so the egress port is known.
+type BackPressureMonitor struct {
+	// HighWater is the queue depth (frames) above which pressure is
+	// signalled; LowWater clears it.
+	HighWater, LowWater int
+	// RateHintMbps is suggested to the sender when signalling.
+	RateHintMbps uint32
+	// Reporter identifies this element.
+	Reporter wire.Addr
+	// SuppressWindow rate-limits signals per experiment.
+	SuppressWindow time.Duration
+	// Signalled counts minted signals.
+	Signalled uint64
+}
+
+// Name implements Stage.
+func (b *BackPressureMonitor) Name() string { return "backpressure" }
+
+// Process implements Stage.
+func (b *BackPressureMonitor) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
+	if pkt.IsControl() || !pkt.Features().Has(wire.FeatBackPressure) || meta.EgressPort < 0 {
+		return nil, nil
+	}
+	depth := ctx.QueueDepth(meta.EgressPort)
+	bp, err := pkt.BackPressure()
+	if err != nil {
+		return nil, err
+	}
+	var level uint8
+	switch {
+	case depth >= b.HighWater && b.HighWater > 0:
+		// Scale level with overshoot, saturating at 255.
+		over := depth - b.HighWater
+		l := 128 + over
+		if l > 255 {
+			l = 255
+		}
+		level = uint8(l)
+	case depth <= b.LowWater:
+		level = 0
+	default:
+		return nil, nil // hysteresis band: leave header level as is
+	}
+	if err := pkt.SetBackPressureLevel(level); err != nil {
+		return nil, err
+	}
+	if level == 0 || bp.Sink.IsZero() {
+		return nil, nil
+	}
+	if b.SuppressWindow > 0 {
+		reg := ctx.Register("bp-suppress", 1024)
+		now := ctx.Now().Nanos()
+		last := reg.Read(uint64(pkt.Experiment()))
+		if last != 0 && now-last < uint64(b.SuppressWindow) {
+			return nil, nil
+		}
+		reg.Write(uint64(pkt.Experiment()), now)
+	}
+	sig := wire.BackPressureSignal{
+		Experiment:   pkt.Experiment(),
+		Level:        level,
+		RateHintMbps: b.RateHintMbps,
+		Reporter:     b.Reporter,
+	}
+	data, err := sig.AppendTo(nil)
+	if err != nil {
+		return nil, err
+	}
+	meta.Mints = append(meta.Mints, Mint{Dst: bp.Sink, Data: data})
+	b.Signalled++
+	return nil, nil
+}
+
+// Forwarder routes by exact destination match with an optional default,
+// setting the egress port in the metadata.
+type Forwarder struct {
+	routes      map[wire.Addr]int
+	defaultPort int
+	hasDefault  bool
+	// NoRoute counts packets dropped for lack of a route.
+	NoRoute uint64
+}
+
+// NewForwarder returns an empty forwarding table.
+func NewForwarder() *Forwarder { return &Forwarder{routes: make(map[wire.Addr]int)} }
+
+// Route installs dst → port.
+func (f *Forwarder) Route(dst wire.Addr, port int) *Forwarder {
+	f.routes[dst] = port
+	return f
+}
+
+// SetDefault installs the default egress.
+func (f *Forwarder) SetDefault(port int) *Forwarder {
+	f.defaultPort, f.hasDefault = port, true
+	return f
+}
+
+// Lookup resolves a destination to an egress port.
+func (f *Forwarder) Lookup(dst wire.Addr) (int, bool) {
+	if p, ok := f.routes[dst]; ok {
+		return p, true
+	}
+	if f.hasDefault {
+		return f.defaultPort, true
+	}
+	return 0, false
+}
+
+// Name implements Stage.
+func (f *Forwarder) Name() string { return "forwarder" }
+
+// Process implements Stage.
+func (f *Forwarder) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
+	port, ok := f.Lookup(meta.Dst)
+	if !ok {
+		f.NoRoute++
+		meta.Drop = true
+		meta.DropReason = fmt.Sprintf("no route to %v", meta.Dst)
+		return nil, nil
+	}
+	meta.EgressPort = port
+	return nil, nil
+}
+
+// ExperimentCounter counts packets and bytes per experiment and slice,
+// giving operators the per-partition visibility Req 8 asks the header to
+// enable.
+type ExperimentCounter struct{}
+
+// Name implements Stage.
+func (ExperimentCounter) Name() string { return "experiment-counter" }
+
+// Process implements Stage.
+func (ExperimentCounter) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
+	exp := pkt.Experiment()
+	ctx.Counter(fmt.Sprintf("exp/%d", exp.Experiment())).Add(len(pkt))
+	ctx.Counter(fmt.Sprintf("exp/%d/slice/%d", exp.Experiment(), exp.Slice())).Add(len(pkt))
+	return nil, nil
+}
+
+// Policer enforces the pacing contract carried in FeatPaced headers with a
+// per-experiment token-bucket meter, the P4 analogue of an RFC 2698-style
+// meter extern: senders that exceed their assigned rate have the excess
+// dropped at the edge. This is how a capacity-planned network protects
+// itself from a misconfigured sender without running congestion control
+// (paper §4.1(4): "resource reservation and capacity planning forestall
+// the potential harm from misbehaving peers").
+type Policer struct {
+	// Slots sizes the meter register arrays (default 1024).
+	Slots int
+	// Conformed and Policed count packets passed and dropped.
+	Conformed, Policed uint64
+}
+
+// Name implements Stage.
+func (p *Policer) Name() string { return "policer" }
+
+// Process implements Stage.
+func (p *Policer) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
+	if pkt.IsControl() || !pkt.Features().Has(wire.FeatPaced) {
+		return nil, nil
+	}
+	pace, err := pkt.Pace()
+	if err != nil {
+		return nil, err
+	}
+	if pace.RateMbps == 0 {
+		return nil, nil // unmetered
+	}
+	slots := p.Slots
+	if slots == 0 {
+		slots = 1024
+	}
+	tokens := ctx.Register("meter-tokens", slots) // byte credit, fixed point
+	lastNs := ctx.Register("meter-last", slots)
+	idx := uint64(pkt.Experiment())
+	now := ctx.Now().Nanos()
+
+	burst := uint64(pace.BurstKB) * 1024
+	if burst == 0 {
+		burst = 64 << 10
+	}
+	t := tokens.Read(idx)
+	last := lastNs.Read(idx)
+	switch {
+	case last == 0:
+		t = burst // a flow's first packet sees a full bucket
+	case now > last:
+		// rate [Mbps] × Δt [ns] / 8000 = bytes accrued. Integer-only, as
+		// P4 requires.
+		t += uint64(pace.RateMbps) * (now - last) / 8000
+	}
+	if t > burst {
+		t = burst
+	}
+	lastNs.Write(idx, now)
+	need := uint64(len(pkt))
+	if t < need {
+		tokens.Write(idx, t)
+		p.Policed++
+		meta.Drop = true
+		meta.DropReason = "pace exceeded"
+		return nil, nil
+	}
+	tokens.Write(idx, t-need)
+	p.Conformed++
+	return nil, nil
+}

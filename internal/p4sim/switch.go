@@ -1,0 +1,132 @@
+package p4sim
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Switch attaches a Pipeline to the simulated network: a netsim.Handler
+// that parses each arriving frame as DMTP, runs the pipeline after a fixed
+// pipeline latency, and emits the processed packet, its multicast copies,
+// and any minted control packets. Non-DMTP frames are forwarded unprocessed
+// (the hardware analogue: the parser falls through to plain L2/L3
+// forwarding), so baseline TCP/UDP traffic crosses the same boxes.
+type Switch struct {
+	node     *netsim.Node
+	Pipeline *Pipeline
+	Fwd      *Forwarder
+	// Latency models the pipeline traversal time. Tofino-class hardware
+	// is some hundreds of nanoseconds port to port.
+	Latency time.Duration
+	// Dropped counts pipeline-dropped packets.
+	Dropped uint64
+	// PassedThrough counts non-DMTP frames forwarded unprocessed.
+	PassedThrough uint64
+}
+
+// NewSwitch builds a switch whose pipeline runs the given stages followed
+// by the forwarder (which must be included in stages where ordering
+// matters; if stages omit fwd it is appended last).
+func NewSwitch(fwd *Forwarder, latency time.Duration, stages ...Stage) *Switch {
+	hasFwd := false
+	for _, s := range stages {
+		if s == fwd {
+			hasFwd = true
+			break
+		}
+	}
+	if !hasFwd {
+		stages = append(stages, fwd)
+	}
+	sw := &Switch{Fwd: fwd, Latency: latency}
+	ctx := NewContext(func(port int) int {
+		if sw.node == nil || port < 0 || port >= len(sw.node.Ports) {
+			return 0
+		}
+		return sw.node.Port(port).QueueDepth()
+	})
+	sw.Pipeline = NewPipeline(ctx, stages...)
+	return sw
+}
+
+// Attach implements netsim.Handler.
+func (s *Switch) Attach(n *netsim.Node) { s.node = n }
+
+// Node returns the attached node.
+func (s *Switch) Node() *netsim.Node { return s.node }
+
+// HandleFrame implements netsim.Handler.
+func (s *Switch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
+	pkt := wire.View(f.Data)
+	if _, err := pkt.Check(); err != nil {
+		// Not DMTP: plain forwarding.
+		s.PassedThrough++
+		if port, ok := s.Fwd.Lookup(f.Dst); ok && port != ingress.Index {
+			s.node.Port(port).Send(f)
+		}
+		return
+	}
+	s.node.Net.Loop().After(s.Latency, func() {
+		meta := &Meta{
+			Now:         s.node.Net.Now(),
+			IngressPort: ingress.Index,
+			Src:         f.Src,
+			Dst:         f.Dst,
+			EgressPort:  -1,
+		}
+		out, _ := s.Pipeline.Run(pkt, meta)
+		// Minted control packets are routed independently of the data
+		// packet's fate.
+		for _, mint := range meta.Mints {
+			if port, ok := s.Fwd.Lookup(mint.Dst); ok {
+				s.node.Port(port).Send(&netsim.Frame{
+					Src:  s.node.Addr,
+					Dst:  mint.Dst,
+					Data: mint.Data,
+					Born: s.node.Net.Now(),
+				})
+			}
+		}
+		for _, cp := range meta.Copies {
+			data := cp.Pkt
+			if data == nil {
+				data = out.Clone()
+			}
+			port := cp.Port
+			if port < 0 {
+				var ok bool
+				if port, ok = s.Fwd.Lookup(cp.Dst); !ok {
+					continue
+				}
+			}
+			s.node.Port(port).Send(&netsim.Frame{
+				Src:  f.Src,
+				Dst:  cp.Dst,
+				Data: data,
+				Born: f.Born,
+				Hops: f.Hops,
+			})
+		}
+		if meta.Drop {
+			s.Dropped++
+			return
+		}
+		if meta.EgressPort < 0 {
+			s.Dropped++
+			return
+		}
+		dst := f.Dst
+		if !meta.NewDst.IsZero() {
+			dst = meta.NewDst
+		}
+		s.node.Port(meta.EgressPort).Send(&netsim.Frame{
+			Src:  f.Src,
+			Dst:  dst,
+			Data: out,
+			Born: f.Born,
+			Hops: f.Hops,
+		})
+	})
+}

@@ -1,0 +1,136 @@
+package pilot
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPilotLosslessSaturates(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Messages: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 3000 || res.Distinct != 3000 {
+		t.Fatalf("sent=%d distinct=%d", res.Sent, res.Distinct)
+	}
+	if res.Lost != 0 || res.Recovered != 0 {
+		t.Fatalf("unexpected loss activity: %+v", res)
+	}
+	// The source runs at 80% of 100 GbE; delivery must sustain ≈ that.
+	if res.LinkUtilization < 0.7 || res.LinkUtilization > 1.0 {
+		t.Fatalf("utilization %.3f", res.LinkUtilization)
+	}
+	if res.ModeTransitions != 3000 {
+		t.Fatalf("mode transitions %d", res.ModeTransitions)
+	}
+	if len(res.PlanSegments) != 2 || res.PlanSegments[0] != "daq:bare" {
+		t.Fatalf("plan %v", res.PlanSegments)
+	}
+}
+
+func TestPilotRecoversAllLossFromDTN1(t *testing.T) {
+	res, err := Run(Config{Seed: 2, Messages: 3000, WANLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered == 0 || res.Retransmits == 0 || res.NAKs == 0 {
+		t.Fatalf("recovery machinery idle: %+v", res)
+	}
+	if res.Distinct != 3000 || res.Lost != 0 {
+		t.Fatalf("incomplete delivery: distinct=%d lost=%d", res.Distinct, res.Lost)
+	}
+	// Recovery RTT is the DTN1↔DTN2 round trip (≈30 ms), not a
+	// source-level timeout.
+	if res.RecoveryP50 > 150*time.Millisecond {
+		t.Fatalf("median recovery %v", res.RecoveryP50)
+	}
+}
+
+func TestPilotAgeBudgetViolationsDetected(t *testing.T) {
+	res, err := Run(Config{Seed: 3, Messages: 500, MaxAge: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aged != res.Delivered {
+		t.Fatalf("aged %d of %d delivered", res.Aged, res.Delivered)
+	}
+}
+
+func TestPilotDeadlineViolationsDetected(t *testing.T) {
+	res, err := Run(Config{Seed: 4, Messages: 500, DeadlineBudget: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Late != res.Delivered {
+		t.Fatalf("late %d of %d delivered", res.Late, res.Delivered)
+	}
+}
+
+func TestPilotEncryptedRun(t *testing.T) {
+	res, err := Run(Config{Seed: 5, Messages: 1000, WANLoss: 0.005, Encrypt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distinct != 1000 || res.Lost != 0 {
+		t.Fatalf("encrypted run incomplete: %+v", res)
+	}
+}
+
+func TestPilotWithSupernovaBurst(t *testing.T) {
+	res, err := Run(Config{Seed: 6, Messages: 1000, Supernova: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distinct <= 1000 {
+		t.Fatalf("burst contributed nothing: distinct=%d", res.Distinct)
+	}
+}
+
+func TestPilotWaveformPayloads(t *testing.T) {
+	res, err := Run(Config{Seed: 7, Messages: 300, Waveforms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distinct != 300 {
+		t.Fatalf("distinct %d", res.Distinct)
+	}
+}
+
+func TestPilotDeterminism(t *testing.T) {
+	a, err := Run(Config{Seed: 8, Messages: 800, WANLoss: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 8, Messages: 800, WANLoss: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Recovered != b.Recovered || a.Elapsed != b.Elapsed || a.NAKs != b.NAKs {
+		t.Fatalf("nondeterministic pilot: %+v vs %+v", a, b)
+	}
+}
+
+func TestPilotSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	// A long lossy run: 50k messages (~380 MB simulated) with recovery.
+	// Guards against state leaks (buffer growth, timer buildup) that the
+	// short tests cannot see.
+	res, err := Run(Config{Seed: 42, Messages: 50_000, WANLoss: 2e-3, AckInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distinct != 50_000 || res.Lost != 0 {
+		t.Fatalf("distinct=%d lost=%d", res.Distinct, res.Lost)
+	}
+	if res.Recovered < 50 {
+		t.Fatalf("recovered only %d at 2e-3 loss", res.Recovered)
+	}
+	// Cumulative ACKs must keep the buffer bounded near the
+	// rate × recovery-RTT product (≈300 MB), well below the 385 MB
+	// stream total.
+	if res.BufferPeak > 400<<20 {
+		t.Fatalf("buffer peak %d suggests trimming failed", res.BufferPeak)
+	}
+}

@@ -1,0 +1,182 @@
+// Package sim provides the discrete-event simulation engine on which the
+// network substrate (internal/netsim) runs. It replaces the paper's physical
+// testbeds (FABRIC, the 100 GbE lab) with a deterministic virtual time base:
+// events execute in strict (time, insertion-order) sequence, so every
+// experiment in this repository is exactly reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration re-exports time.Duration for call-site readability.
+type Duration = time.Duration
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Nanos returns t as an unsigned nanosecond count, clamping negatives to 0.
+// Wire timestamps (wire.DeadlineExt, wire.TimestampExt) use this form.
+func (t Time) Nanos() uint64 {
+	if t < 0 {
+		return 0
+	}
+	return uint64(t)
+}
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Timer is a handle to a scheduled event. The zero value is invalid; Timers
+// are created by Loop.At and Loop.After.
+type Timer struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 once fired or cancelled
+	stopped bool
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// When returns the virtual time the timer is (or was) scheduled for.
+func (t *Timer) When() Time { return t.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Loop is a single-threaded discrete-event loop. It is not safe for
+// concurrent use; all simulated components run inside its callbacks.
+type Loop struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// processed counts fired (non-cancelled) events, for diagnostics.
+	processed uint64
+}
+
+// NewLoop returns an empty loop at time zero.
+func NewLoop() *Loop { return &Loop{} }
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Processed returns the number of events fired so far.
+func (l *Loop) Processed() uint64 { return l.processed }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (l *Loop) Pending() int { return len(l.events) }
+
+// At schedules fn at absolute virtual time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (l *Loop) At(at Time, fn func()) *Timer {
+	if at < l.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, l.now))
+	}
+	l.seq++
+	t := &Timer{at: at, seq: l.seq, fn: fn}
+	heap.Push(&l.events, t)
+	return t
+}
+
+// After schedules fn after duration d. Negative durations panic.
+func (l *Loop) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return l.At(l.now.Add(d), fn)
+}
+
+// Step fires the next pending event, advancing virtual time to it. It
+// reports whether an event was fired (cancelled events are skipped
+// transparently and do not count).
+func (l *Loop) Step() bool {
+	for len(l.events) > 0 {
+		t := heap.Pop(&l.events).(*Timer)
+		if t.stopped {
+			continue
+		}
+		l.now = t.at
+		l.processed++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ deadline, then sets the clock to the
+// deadline (even if no event landed exactly there).
+func (l *Loop) RunUntil(deadline Time) {
+	for {
+		next, ok := l.peek()
+		if !ok || next > deadline {
+			break
+		}
+		l.Step()
+	}
+	if l.now < deadline {
+		l.now = deadline
+	}
+}
+
+// RunFor advances the clock by d, firing all events inside the window.
+func (l *Loop) RunFor(d Duration) { l.RunUntil(l.now.Add(d)) }
+
+// peek returns the time of the next non-cancelled event.
+func (l *Loop) peek() (Time, bool) {
+	for len(l.events) > 0 {
+		t := l.events[0]
+		if !t.stopped {
+			return t.at, true
+		}
+		heap.Pop(&l.events)
+	}
+	return 0, false
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	l := NewLoop()
+	var got []Time
+	for _, d := range []time.Duration{5 * time.Millisecond, time.Millisecond, 3 * time.Millisecond} {
+		l.After(d, func() { got = append(got, l.Now()) })
+	}
+	l.Run()
+	if len(got) != 3 {
+		t.Fatalf("fired %d events", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if got[0] != Time(time.Millisecond) || got[2] != Time(5*time.Millisecond) {
+		t.Fatalf("wrong times: %v", got)
+	}
+}
+
+func TestSameTimeEventsFireInInsertionOrder(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(100, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("insertion order violated: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	l := NewLoop()
+	fired := false
+	tm := l.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	l.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if l.Now() != 0 {
+		// Cancelled events should not advance time when skipped before firing.
+		t.Fatalf("clock advanced to %v by cancelled event", l.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	l := NewLoop()
+	var order []string
+	l.After(time.Millisecond, func() {
+		order = append(order, "a")
+		l.After(time.Millisecond, func() { order = append(order, "c") })
+	})
+	l.After(1500*time.Microsecond, func() { order = append(order, "b") })
+	l.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	l := NewLoop()
+	l.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		l.At(0, func() {})
+	})
+	l.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	NewLoop().After(-time.Second, func() {})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	l := NewLoop()
+	count := 0
+	l.After(time.Millisecond, func() { count++ })
+	l.After(time.Hour, func() { count++ })
+	l.RunUntil(Time(time.Second))
+	if count != 1 {
+		t.Fatalf("fired %d events, want 1", count)
+	}
+	if l.Now() != Time(time.Second) {
+		t.Fatalf("clock %v, want 1s", l.Now())
+	}
+	l.Run()
+	if count != 2 {
+		t.Fatalf("remaining event lost")
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	l := NewLoop()
+	l.RunFor(time.Second)
+	l.RunFor(time.Second)
+	if l.Now() != Time(2*time.Second) {
+		t.Fatalf("clock %v", l.Now())
+	}
+}
+
+func TestDeterminismUnderRandomLoad(t *testing.T) {
+	run := func(seed int64) []Time {
+		l := NewLoop()
+		r := rand.New(rand.NewSource(seed))
+		var fired []Time
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth > 4 {
+				return
+			}
+			n := r.Intn(4)
+			for i := 0; i < n; i++ {
+				l.After(time.Duration(r.Intn(1000))*time.Microsecond, func() {
+					fired = append(fired, l.Now())
+					schedule(depth + 1)
+				})
+			}
+		}
+		for i := 0; i < 50; i++ {
+			l.After(time.Duration(r.Intn(100000))*time.Microsecond, func() {
+				fired = append(fired, l.Now())
+				schedule(0)
+			})
+		}
+		l.Run()
+		return fired
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	x := Time(0).Add(3 * time.Second)
+	if x.Sub(Time(time.Second)) != 2*time.Second {
+		t.Fatal("Sub")
+	}
+	if Time(-5).Nanos() != 0 {
+		t.Fatal("negative Nanos must clamp")
+	}
+	if Time(12).Nanos() != 12 {
+		t.Fatal("Nanos")
+	}
+	if x.String() != "3s" {
+		t.Fatalf("String %q", x.String())
+	}
+}
+
+func TestProcessedAndPending(t *testing.T) {
+	l := NewLoop()
+	l.After(1, func() {})
+	tm := l.After(2, func() {})
+	tm.Stop()
+	if l.Pending() != 2 {
+		t.Fatalf("pending %d", l.Pending())
+	}
+	l.Run()
+	if l.Processed() != 1 {
+		t.Fatalf("processed %d", l.Processed())
+	}
+}

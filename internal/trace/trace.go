@@ -1,0 +1,154 @@
+// Package trace captures packet-level events from the simulated network —
+// the tcpdump of this testbed. A Tap decorates any netsim handler and
+// records every frame delivered to it (timestamp, addresses, DMTP mode,
+// sequence number, size); the recorded trace renders as human-readable
+// lines for debugging topologies and as structured events for assertions
+// in tests.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Event is one observed frame delivery.
+type Event struct {
+	At       sim.Time
+	Node     string
+	Port     int
+	Src, Dst wire.Addr
+	Len      int
+	// DMTP fields; Kind is "data", "nak", "ack", "deadline", "bp",
+	// "advert", or "other" for non-DMTP frames.
+	Kind     string
+	ConfigID uint8
+	Features wire.Features
+	Seq      uint64
+	Exp      wire.ExperimentID
+}
+
+// String renders the event as one tcpdump-ish line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12v %-10s p%d  %v > %v  %4dB  %s",
+		e.At, e.Node, e.Port, e.Src, e.Dst, e.Len, e.Kind)
+	if e.Kind == "data" {
+		fmt.Fprintf(&b, " mode=%d [%v] %v", e.ConfigID, e.Features, e.Exp)
+		if e.Seq != 0 {
+			fmt.Fprintf(&b, " seq=%d", e.Seq)
+		}
+	}
+	return b.String()
+}
+
+// Tap records frames delivered to the wrapped handler.
+type Tap struct {
+	Inner netsim.Handler
+	// Filter, when non-nil, keeps only events it returns true for.
+	Filter func(Event) bool
+	// Max bounds retained events (0 = 10000); older events are dropped.
+	Max int
+
+	node    *netsim.Node
+	events  []Event
+	Dropped uint64 // events discarded past Max
+}
+
+// New wraps a handler with a tap.
+func New(inner netsim.Handler) *Tap { return &Tap{Inner: inner} }
+
+// Attach implements netsim.Handler.
+func (t *Tap) Attach(n *netsim.Node) {
+	t.node = n
+	t.Inner.Attach(n)
+}
+
+// HandleFrame implements netsim.Handler.
+func (t *Tap) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
+	ev := Event{
+		At:   t.node.Net.Now(),
+		Node: t.node.Name,
+		Port: ingress.Index,
+		Src:  f.Src,
+		Dst:  f.Dst,
+		Len:  len(f.Data),
+		Kind: classify(f.Data),
+	}
+	v := wire.View(f.Data)
+	if _, err := v.Check(); err == nil {
+		ev.ConfigID = v.ConfigID()
+		ev.Exp = v.Experiment()
+		if !v.IsControl() {
+			ev.Features = v.Features()
+			ev.Seq, _ = v.Seq()
+		}
+	}
+	if t.Filter == nil || t.Filter(ev) {
+		max := t.Max
+		if max == 0 {
+			max = 10000
+		}
+		if len(t.events) >= max {
+			t.events = t.events[1:]
+			t.Dropped++
+		}
+		t.events = append(t.events, ev)
+	}
+	t.Inner.HandleFrame(ingress, f)
+}
+
+// classify names the frame type from its first bytes.
+func classify(b []byte) string {
+	v := wire.View(b)
+	if _, err := v.Check(); err != nil {
+		return "other"
+	}
+	switch v.ConfigID() {
+	case wire.ConfigNAK:
+		return "nak"
+	case wire.ConfigAck:
+		return "ack"
+	case wire.ConfigDeadlineExceeded:
+		return "deadline"
+	case wire.ConfigBackPressure:
+		return "bp"
+	case wire.ConfigResourceAdvert:
+		return "advert"
+	}
+	if v.IsControl() {
+		return "other"
+	}
+	return "data"
+}
+
+// Events returns the retained events.
+func (t *Tap) Events() []Event { return t.events }
+
+// Count returns how many events matching pred were retained (all if nil).
+func (t *Tap) Count(pred func(Event) bool) int {
+	if pred == nil {
+		return len(t.events)
+	}
+	n := 0
+	for _, e := range t.events {
+		if pred(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump writes the trace as text lines.
+func (t *Tap) Dump(w io.Writer) error {
+	for _, e := range t.events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daq"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// tracedPilot runs a small sensor→DTN→receiver path with a tap on the
+// receiver, under loss so control traffic appears.
+func tracedPilot(t *testing.T, filter func(Event) bool, max int) (*Tap, *Tap) {
+	t.Helper()
+	nw := netsim.New(4)
+	sensorAddr := wire.AddrFrom(10, 13, 0, 1, 1)
+	dtnAddr := wire.AddrFrom(10, 13, 1, 1, 1)
+	dstAddr := wire.AddrFrom(10, 13, 2, 1, 1)
+
+	rcv := core.NewReceiverHandler(nw, core.ReceiverConfig{NAKRetry: 40 * time.Millisecond})
+	rcvTap := New(rcv)
+	rcvTap.Filter = filter
+	rcvTap.Max = max
+	rcvNode := nw.AddNode("dtn2", dstAddr, rcvTap)
+
+	dtn := core.NewBufferHandler(nw, core.BufferConfig{
+		UpgradeFrom: core.ModeBare.ConfigID,
+		Upgrade:     core.ModeWAN,
+		Forward:     dstAddr,
+		ForwardPort: 1,
+		MaxAge:      time.Second,
+		Routes:      map[wire.Addr]int{sensorAddr: 0},
+	})
+	dtnTap := New(dtn)
+	dtnNode := nw.AddNode("dtn1", dtnAddr, dtnTap)
+
+	snd := core.NewSender(nw, "sensor", sensorAddr, core.SenderConfig{
+		Experiment: 2, Dst: dtnAddr, Mode: core.ModeBare,
+	})
+	nw.Connect(snd.Node(), dtnNode, netsim.LinkConfig{RateBps: netsim.Gbps(10), Delay: 10 * time.Microsecond})
+	nw.Connect(dtnNode, rcvNode, netsim.LinkConfig{
+		RateBps: netsim.Gbps(10), Delay: 10 * time.Millisecond, LossProb: 0.02})
+
+	snd.Stream(daq.NewGeneric(daq.GenericConfig{MessageSize: 1000, Interval: 50 * time.Microsecond, Count: 300, Seed: 1}))
+	nw.Loop().Run()
+	return dtnTap, rcvTap
+}
+
+func TestTapRecordsDataAndControl(t *testing.T) {
+	dtnTap, rcvTap := tracedPilot(t, nil, 0)
+	if rcvTap.Count(func(e Event) bool { return e.Kind == "data" }) == 0 {
+		t.Fatal("no data events at the receiver")
+	}
+	// The DTN tap must see the NAKs the receiver sent under loss.
+	naks := dtnTap.Count(func(e Event) bool { return e.Kind == "nak" })
+	if naks == 0 {
+		t.Fatal("no NAK events at the DTN")
+	}
+	// Mode progression is visible on the wire: bare data at the DTN,
+	// WAN-mode data at the receiver.
+	if dtnTap.Count(func(e Event) bool { return e.Kind == "data" && e.ConfigID == 0 }) == 0 {
+		t.Fatal("no mode-0 arrivals at the DTN")
+	}
+	if rcvTap.Count(func(e Event) bool { return e.Kind == "data" && e.ConfigID == core.ModeWAN.ConfigID }) == 0 {
+		t.Fatal("no WAN-mode arrivals at the receiver")
+	}
+	// Sequence numbers appear only after the upgrade.
+	for _, e := range rcvTap.Events() {
+		if e.Kind == "data" && e.Seq == 0 {
+			t.Fatal("unsequenced data at the receiver")
+		}
+	}
+}
+
+func TestTapFilterAndBound(t *testing.T) {
+	_, rcvTap := tracedPilot(t, func(e Event) bool { return e.Kind == "data" }, 50)
+	if got := rcvTap.Count(nil); got != 50 {
+		t.Fatalf("retained %d events, want bounded 50", got)
+	}
+	if rcvTap.Dropped == 0 {
+		t.Fatal("drop accounting missing")
+	}
+	for _, e := range rcvTap.Events() {
+		if e.Kind != "data" {
+			t.Fatalf("filter leaked %q", e.Kind)
+		}
+	}
+}
+
+func TestTapDumpFormat(t *testing.T) {
+	_, rcvTap := tracedPilot(t, nil, 0)
+	var b strings.Builder
+	if err := rcvTap.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "data mode=1") || !strings.Contains(out, "seq=") {
+		head := out
+		if len(head) > 400 {
+			head = head[:400]
+		}
+		t.Fatalf("dump missing DMTP detail:\n%s", head)
+	}
+	if !strings.Contains(out, "dtn2") {
+		t.Fatal("dump missing node name")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	mk := func(id uint8) []byte {
+		h := wire.Header{ConfigID: id}
+		b, err := h.AppendTo(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := map[string][]byte{
+		"data":   mk(1),
+		"nak":    mk(wire.ConfigNAK),
+		"ack":    mk(wire.ConfigAck),
+		"bp":     mk(wire.ConfigBackPressure),
+		"advert": mk(wire.ConfigResourceAdvert),
+		"other":  {1, 2, 3},
+	}
+	for want, b := range cases {
+		if got := classify(b); got != want {
+			t.Fatalf("classify(%s) = %q", want, got)
+		}
+	}
+}

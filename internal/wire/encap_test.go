@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func dmtpPacket(t *testing.T) []byte {
+	t.Helper()
+	h := Header{ConfigID: 1, Features: FeatSequenced, Experiment: NewExperimentID(1, 0), Seq: SeqExt{Seq: 5}}
+	b, err := h.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, []byte("payload")...)
+}
+
+func TestStripEncapEthernet(t *testing.T) {
+	inner := dmtpPacket(t)
+	eth := Ethernet{Dst: MAC{1, 2, 3, 4, 5, 6}, Src: MAC{6, 5, 4, 3, 2, 1}, EtherType: EtherTypeDMTP}
+	frame := eth.AppendTo(nil)
+	frame = append(frame, inner...)
+	v, encap, err := StripEncap(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encap != EncapEthernet {
+		t.Fatalf("encap %v", encap)
+	}
+	if !bytes.Equal(v, inner) {
+		t.Fatal("inner packet mismatch")
+	}
+}
+
+func TestStripEncapIPv4(t *testing.T) {
+	inner := dmtpPacket(t)
+	ip := IPv4{TTL: 64, Protocol: IPProtoDMTP, Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}}
+	frame, err := ip.AppendTo(nil, len(inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame = append(frame, inner...)
+	v, encap, err := StripEncap(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encap != EncapIPv4 {
+		t.Fatalf("encap %v", encap)
+	}
+	if !bytes.Equal(v, inner) {
+		t.Fatal("inner packet mismatch")
+	}
+}
+
+func TestStripEncapUDP(t *testing.T) {
+	inner := dmtpPacket(t)
+	udp := UDP{SrcPort: 5555, DstPort: UDPPortDMTP}
+	udpBytes, err := udp.AppendTo(nil, len(inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpBytes = append(udpBytes, inner...)
+	ip := IPv4{TTL: 64, Protocol: 17, Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}}
+	frame, err := ip.AppendTo(nil, len(udpBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame = append(frame, udpBytes...)
+	v, encap, err := StripEncap(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encap != EncapUDP {
+		t.Fatalf("encap %v", encap)
+	}
+	if !bytes.Equal(v, inner) {
+		t.Fatal("inner packet mismatch")
+	}
+}
+
+func TestStripEncapBare(t *testing.T) {
+	inner := dmtpPacket(t)
+	v, encap, err := StripEncap(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encap != EncapNone {
+		t.Fatalf("encap %v", encap)
+	}
+	if !bytes.Equal(v, inner) {
+		t.Fatal("inner packet mismatch")
+	}
+}
+
+func TestStripEncapRejectsGarbage(t *testing.T) {
+	if _, _, err := StripEncap([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted short garbage")
+	}
+	// A frame with valid length but undefined feature bits everywhere.
+	junk := bytes.Repeat([]byte{0xEE}, 64)
+	if _, _, err := StripEncap(junk); err == nil {
+		t.Fatal("accepted junk frame")
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: IPProtoDMTP, Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}}
+	frame, err := ip.AppendTo(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok IPv4
+	if _, err := ok.DecodeFromBytes(frame); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	frame[15] ^= 0xFF // corrupt a source-address byte
+	var bad IPv4
+	if _, err := bad.DecodeFromBytes(frame); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestIPv4RoundTripQuick(t *testing.T) {
+	f := func(tos, ttl, proto uint8, src, dst [4]byte, payloadLen uint16) bool {
+		pl := int(payloadLen) % 1400
+		ip := IPv4{TOS: tos, TTL: ttl, Protocol: proto, Src: src, Dst: dst}
+		enc, err := ip.AppendTo(nil, pl)
+		if err != nil {
+			return false
+		}
+		var got IPv4
+		n, err := got.DecodeFromBytes(enc)
+		if err != nil || n != IPv4HeaderLen {
+			return false
+		}
+		return got.TOS == tos && got.TTL == ttl && got.Protocol == proto &&
+			got.Src == src && got.Dst == dst && int(got.TotalLen) == IPv4HeaderLen+pl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDP{SrcPort: 1, DstPort: 2}
+	enc, err := u.AppendTo(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got UDP
+	n, err := got.DecodeFromBytes(enc)
+	if err != nil || n != UDPHeaderLen {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if got.SrcPort != 1 || got.DstPort != 2 || got.Length != UDPHeaderLen+100 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{Dst: MAC{0xAA, 1, 2, 3, 4, 5}, Src: MAC{0xBB, 1, 2, 3, 4, 5}, EtherType: EtherTypeDMTP}
+	enc := e.AppendTo(nil)
+	var got Ethernet
+	n, err := got.DecodeFromBytes(enc)
+	if err != nil || n != EthernetHeaderLen {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if got != e {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Dst.String() != "aa:01:02:03:04:05" {
+		t.Fatalf("mac string %q", got.Dst.String())
+	}
+}
+
+func TestOversizeEncapRejected(t *testing.T) {
+	ip := IPv4{}
+	if _, err := ip.AppendTo(nil, 70000); err == nil {
+		t.Fatal("oversize IPv4 accepted")
+	}
+	u := UDP{}
+	if _, err := u.AppendTo(nil, 70000); err == nil {
+		t.Fatal("oversize UDP accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package wire_test
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// ExampleHeader shows the sensor-side view: a bare mode-0 header is just
+// 8 bytes identifying the experiment and slice.
+func ExampleHeader() {
+	h := wire.Header{
+		ConfigID:   0, // mode 0: no features, as emitted at the sensor
+		Experiment: wire.NewExperimentID(42, 3),
+	}
+	pkt, _ := h.AppendTo(nil)
+	fmt.Println(len(pkt), "bytes:", h.String())
+	// Output:
+	// 8 bytes: DMTP mode 0 [none] exp 42/slice 3
+}
+
+// ExampleView_Activate shows what an on-path programmable element does:
+// upgrade the packet's mode in flight, adding extension fields.
+func ExampleView_Activate() {
+	h := wire.Header{ConfigID: 0, Experiment: wire.NewExperimentID(42, 0)}
+	pkt, _ := h.AppendTo(nil)
+	pkt = append(pkt, "detector data"...)
+
+	v := wire.View(pkt)
+	upgraded, _ := v.Activate(1, wire.FeatSequenced|wire.FeatReliable)
+	upgraded.SetSeq(7)
+	upgraded.SetRetransmitBuffer(wire.AddrFrom(10, 0, 1, 1, 7000))
+
+	seq, _ := upgraded.Seq()
+	buf, _ := upgraded.RetransmitBuffer()
+	fmt.Printf("mode %d, seq %d, recover from %v, payload %q\n",
+		upgraded.ConfigID(), seq, buf, string(upgraded.Payload()))
+	// Output:
+	// mode 1, seq 7, recover from 10.0.1.1:7000, payload "detector data"
+}
+
+// ExampleView_AddAge shows the per-element age update of the pilot study.
+func ExampleView_AddAge() {
+	h := wire.Header{ConfigID: 1, Features: wire.FeatAgeTracked}
+	h.Age.MaxAgeMicros = 100
+	pkt, _ := h.AppendTo(nil)
+
+	v := wire.View(pkt)
+	aged, _ := v.AddAge(60)
+	fmt.Println("after 60µs:", aged)
+	aged, _ = v.AddAge(60)
+	fmt.Println("after 120µs:", aged)
+	// Output:
+	// after 60µs: false
+	// after 120µs: true
+}

@@ -1,0 +1,339 @@
+package wire
+
+import "fmt"
+
+// View is a zero-copy window onto an encoded DMTP packet. It supports the
+// in-place, header-only reads and writes that an on-path programmable
+// network element performs (paper §5: "conservative, header-based
+// processing, using features that existing P4 hardware supports well").
+// Operations that change the header length (activating or deactivating
+// features, i.e. changing mode) return a new byte slice; everything else
+// mutates the underlying buffer directly.
+type View []byte
+
+// Check validates that v holds at least a complete DMTP header and returns
+// the header length. It is cheap and should be called once at pipeline
+// ingress before using the other accessors.
+func (v View) Check() (headerLen int, err error) {
+	if len(v) < CoreHeaderLen {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(v))
+	}
+	if v.IsControl() {
+		return CoreHeaderLen, nil
+	}
+	extLen, err := v.Features().ExtLen()
+	if err != nil {
+		return 0, err
+	}
+	if len(v) < CoreHeaderLen+extLen {
+		return 0, fmt.Errorf("%w: %d bytes, need %d for extensions", ErrTruncated, len(v), CoreHeaderLen+extLen)
+	}
+	return CoreHeaderLen + extLen, nil
+}
+
+// ConfigID returns the configuration identifier (first header byte).
+func (v View) ConfigID() uint8 { return v[0] }
+
+// SetConfigID overwrites the configuration identifier in place.
+func (v View) SetConfigID(id uint8) { v[0] = id }
+
+// IsControl reports whether the packet is a control packet.
+func (v View) IsControl() bool { return v[0] >= ControlBase }
+
+// Features returns the 24 configuration bits as a feature set.
+func (v View) Features() Features {
+	return Features(v[1])<<16 | Features(v[2])<<8 | Features(v[3])
+}
+
+func (v View) setFeatures(f Features) {
+	v[1] = byte(f >> 16)
+	v[2] = byte(f >> 8)
+	v[3] = byte(f)
+}
+
+// Experiment returns the experiment identifier.
+func (v View) Experiment() ExperimentID { return ExperimentID(be.Uint32(v[4:8])) }
+
+// SetExperiment overwrites the experiment identifier in place.
+func (v View) SetExperiment(e ExperimentID) { be.PutUint32(v[4:8], uint32(e)) }
+
+// HeaderLen returns the total header length implied by the feature bits.
+// The view must have passed Check.
+func (v View) HeaderLen() int {
+	if v.IsControl() {
+		return CoreHeaderLen
+	}
+	n, _ := v.Features().ExtLen()
+	return CoreHeaderLen + n
+}
+
+// Payload returns the bytes after the header. The view must have passed Check.
+func (v View) Payload() []byte { return v[v.HeaderLen():] }
+
+// ext returns the extension field bytes for a single active feature.
+func (v View) ext(feat Features) ([]byte, error) {
+	if v.IsControl() {
+		return nil, ErrControlPacket
+	}
+	off, err := v.Features().ExtOffset(feat)
+	if err != nil {
+		return nil, err
+	}
+	start := CoreHeaderLen + off
+	end := start + FeatureSize(feat)
+	if len(v) < end {
+		return nil, fmt.Errorf("%w: extension %v at %d..%d, packet %d bytes", ErrTruncated, feat, start, end, len(v))
+	}
+	return v[start:end], nil
+}
+
+// Seq returns the sequence number; the packet must carry FeatSequenced.
+func (v View) Seq() (uint64, error) {
+	ext, err := v.ext(FeatSequenced)
+	if err != nil {
+		return 0, err
+	}
+	return be.Uint64(ext), nil
+}
+
+// SetSeq overwrites the sequence number in place.
+func (v View) SetSeq(seq uint64) error {
+	ext, err := v.ext(FeatSequenced)
+	if err != nil {
+		return err
+	}
+	be.PutUint64(ext, seq)
+	return nil
+}
+
+// RetransmitBuffer returns the nearest-upstream retransmission buffer address.
+func (v View) RetransmitBuffer() (Addr, error) {
+	ext, err := v.ext(FeatReliable)
+	if err != nil {
+		return Addr{}, err
+	}
+	return addrFromBytes(ext), nil
+}
+
+// SetRetransmitBuffer repoints the retransmission buffer in place. This is
+// the "more recent retransmission buffer" rewrite from paper §1/§5.1: as a
+// closer buffer becomes available, elements update the header so receivers
+// request retransmission from the shorter-RTT source.
+func (v View) SetRetransmitBuffer(a Addr) error {
+	ext, err := v.ext(FeatReliable)
+	if err != nil {
+		return err
+	}
+	a.put(ext)
+	return nil
+}
+
+// Deadline returns the delivery deadline and notification address.
+func (v View) Deadline() (deadlineNanos uint64, notify Addr, err error) {
+	ext, err := v.ext(FeatTimely)
+	if err != nil {
+		return 0, Addr{}, err
+	}
+	return be.Uint64(ext[0:8]), addrFromBytes(ext[8:14]), nil
+}
+
+// SetDeadline overwrites the deadline extension in place.
+func (v View) SetDeadline(deadlineNanos uint64, notify Addr) error {
+	ext, err := v.ext(FeatTimely)
+	if err != nil {
+		return err
+	}
+	be.PutUint64(ext[0:8], deadlineNanos)
+	notify.put(ext[8:14])
+	return nil
+}
+
+// Age returns the age extension.
+func (v View) Age() (AgeExt, error) {
+	ext, err := v.ext(FeatAgeTracked)
+	if err != nil {
+		return AgeExt{}, err
+	}
+	return AgeExt{
+		AgeMicros:    be.Uint32(ext[0:4]),
+		MaxAgeMicros: be.Uint32(ext[4:8]),
+		Flags:        ext[8],
+	}, nil
+}
+
+// AddAge accumulates deltaMicros onto the age field, saturating instead of
+// wrapping, and sets the aged flag if the accumulated age meets or exceeds
+// the maximum age. It returns the post-update aged status. This is the
+// exact per-element operation from paper §5.4.
+func (v View) AddAge(deltaMicros uint32) (aged bool, err error) {
+	ext, err := v.ext(FeatAgeTracked)
+	if err != nil {
+		return false, err
+	}
+	age := be.Uint32(ext[0:4])
+	if age > ^uint32(0)-deltaMicros {
+		age = ^uint32(0)
+	} else {
+		age += deltaMicros
+	}
+	be.PutUint32(ext[0:4], age)
+	maxAge := be.Uint32(ext[4:8])
+	if maxAge != 0 && age >= maxAge {
+		ext[8] |= AgedFlag
+	}
+	return ext[8]&AgedFlag != 0, nil
+}
+
+// SetMaxAge overwrites the maximum-age budget in place.
+func (v View) SetMaxAge(maxMicros uint32) error {
+	ext, err := v.ext(FeatAgeTracked)
+	if err != nil {
+		return err
+	}
+	be.PutUint32(ext[4:8], maxMicros)
+	return nil
+}
+
+// Pace returns the pacing extension.
+func (v View) Pace() (PaceExt, error) {
+	ext, err := v.ext(FeatPaced)
+	if err != nil {
+		return PaceExt{}, err
+	}
+	return PaceExt{RateMbps: be.Uint32(ext[0:4]), BurstKB: be.Uint32(ext[4:8])}, nil
+}
+
+// SetPace overwrites the pacing extension in place.
+func (v View) SetPace(p PaceExt) error {
+	ext, err := v.ext(FeatPaced)
+	if err != nil {
+		return err
+	}
+	be.PutUint32(ext[0:4], p.RateMbps)
+	be.PutUint32(ext[4:8], p.BurstKB)
+	return nil
+}
+
+// BackPressure returns the back-pressure extension.
+func (v View) BackPressure() (BackPressureExt, error) {
+	ext, err := v.ext(FeatBackPressure)
+	if err != nil {
+		return BackPressureExt{}, err
+	}
+	return BackPressureExt{Sink: addrFromBytes(ext[0:6]), Level: ext[6]}, nil
+}
+
+// SetBackPressureLevel overwrites the advisory back-pressure level in place.
+func (v View) SetBackPressureLevel(level uint8) error {
+	ext, err := v.ext(FeatBackPressure)
+	if err != nil {
+		return err
+	}
+	ext[6] = level
+	return nil
+}
+
+// Dup returns the duplication extension.
+func (v View) Dup() (DupExt, error) {
+	ext, err := v.ext(FeatDuplicate)
+	if err != nil {
+		return DupExt{}, err
+	}
+	return DupExt{Group: be.Uint32(ext[0:4]), Scope: ext[4]}, nil
+}
+
+// SetDupScope overwrites the remaining duplication scope in place.
+func (v View) SetDupScope(scope uint8) error {
+	ext, err := v.ext(FeatDuplicate)
+	if err != nil {
+		return err
+	}
+	ext[4] = scope
+	return nil
+}
+
+// OriginTimestamp returns the origin timestamp in nanoseconds.
+func (v View) OriginTimestamp() (uint64, error) {
+	ext, err := v.ext(FeatTimestamped)
+	if err != nil {
+		return 0, err
+	}
+	return be.Uint64(ext), nil
+}
+
+// SetOriginTimestamp overwrites the origin timestamp in place.
+func (v View) SetOriginTimestamp(nanos uint64) error {
+	ext, err := v.ext(FeatTimestamped)
+	if err != nil {
+		return err
+	}
+	be.PutUint64(ext, nanos)
+	return nil
+}
+
+// Activate returns a new packet with the given features additionally
+// activated (their extension fields inserted, zero-valued, at the correct
+// wire positions) and the ConfigID set to newConfigID. Features already
+// active are preserved along with their values. This is the header
+// operation a network element performs when switching the packet to a
+// richer mode; on P4 hardware it corresponds to header add + deparse.
+func (v View) Activate(newConfigID uint8, add Features) (View, error) {
+	return v.reshape(newConfigID, v.Features()|add)
+}
+
+// Deactivate returns a new packet with the given features removed and the
+// ConfigID set to newConfigID.
+func (v View) Deactivate(newConfigID uint8, remove Features) (View, error) {
+	return v.reshape(newConfigID, v.Features()&^remove)
+}
+
+// Reshape returns a new packet whose feature set is exactly want, copying
+// values of features that remain active, zero-filling newly added ones, and
+// setting the ConfigID. The payload is shared-copied into the new slice.
+func (v View) Reshape(newConfigID uint8, want Features) (View, error) {
+	return v.reshape(newConfigID, want)
+}
+
+func (v View) reshape(newConfigID uint8, want Features) (View, error) {
+	if v.IsControl() {
+		return nil, ErrControlPacket
+	}
+	if newConfigID >= ControlBase {
+		return nil, fmt.Errorf("wire: config ID %#02x is in the control range", newConfigID)
+	}
+	oldLen, err := v.Check()
+	if err != nil {
+		return nil, err
+	}
+	have := v.Features()
+	wantExtLen, err := want.ExtLen()
+	if err != nil {
+		return nil, err
+	}
+	out := make(View, CoreHeaderLen+wantExtLen+len(v)-oldLen)
+	copy(out[:4], v[:4]) // config id + bits, patched below
+	copy(out[4:8], v[4:8])
+	out.SetConfigID(newConfigID)
+	out.setFeatures(want)
+	// Copy surviving extension values field by field.
+	for i := 0; i < featureCount; i++ {
+		bit := Features(1) << i
+		if want&bit == 0 || have&bit == 0 {
+			continue
+		}
+		srcOff, _ := have.ExtOffset(bit)
+		dstOff, _ := want.ExtOffset(bit)
+		copy(out[CoreHeaderLen+dstOff:CoreHeaderLen+dstOff+extSizes[i]],
+			v[CoreHeaderLen+srcOff:CoreHeaderLen+srcOff+extSizes[i]])
+	}
+	copy(out[CoreHeaderLen+wantExtLen:], v[oldLen:])
+	return out, nil
+}
+
+// Clone returns an independent copy of the packet, used by in-network
+// duplication.
+func (v View) Clone() View {
+	out := make(View, len(v))
+	copy(out, v)
+	return out
+}
