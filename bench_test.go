@@ -108,6 +108,24 @@ func BenchmarkFig4Pilot(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultTolerance regenerates E5: delivery completeness and
+// recovery latency under seeded fault injection — burst loss, relay
+// crash/restart, mid-flow crash (graceful degradation), reordering, and a
+// scripted link flap.
+func BenchmarkFaultTolerance(b *testing.B) {
+	var rows []experiments.E5Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.E5FaultTolerance(400, 11)
+	}
+	for _, r := range rows {
+		name := sanitize(r.Label)
+		b.ReportMetric(float64(r.Delivered)/float64(r.Sent), "delivered-frac/"+name)
+		b.ReportMetric(float64(r.Recovered), "recovered/"+name)
+		b.ReportMetric(float64(r.Lost), "lost/"+name)
+		b.ReportMetric(r.RecoveryP50.Seconds()*1000, "rec-p50-ms/"+name)
+	}
+}
+
 // BenchmarkAblationBufferPlacement regenerates A1: recovery latency vs
 // retransmission-buffer position.
 func BenchmarkAblationBufferPlacement(b *testing.B) {

@@ -5,7 +5,8 @@
 //	benchtab -exp e3 -messages 1000 -seed 7
 //
 // Experiment IDs follow DESIGN.md: e1 (Table 1), e2 (Fig 2), e3 (Fig 3:
-// loss sweep + alert fan-out + back-pressure), e4 (Fig 4 pilot), a1
+// loss sweep + alert fan-out + back-pressure), e4 (Fig 4 pilot), e5
+// (fault-tolerance chaos matrix), a1
 // (buffer placement), a2 (HOL blocking), a4 (capacity planning), a5
 // (deadline-aware AQM), a6 (buffer sizing).
 package main
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1,e2,e3,e4,a1,a2,a4,a5,a6 or all")
+	exp := flag.String("exp", "all", "experiment id: e1,e2,e3,e4,e5,a1,a2,a4,a5,a6 or all")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	messages := flag.Int("messages", 1000, "messages per run")
 	flag.Parse()
@@ -60,6 +61,9 @@ func main() {
 	section("e4", "Fig 4 / §5.4: pilot study", func() {
 		fmt.Print(experiments.E4Table(experiments.E4Pilot(*messages, *seed)))
 	})
+	section("e5", "Fault tolerance: seeded chaos scenarios", func() {
+		fmt.Print(experiments.E5Table(experiments.E5FaultTolerance(*messages, *seed)))
+	})
 	section("a1", "Ablation: retransmission-buffer placement", func() {
 		fmt.Print(experiments.A1Table(experiments.A1BufferPlacement(nil, *messages, 5e-3, *seed)))
 	})
@@ -77,7 +81,7 @@ func main() {
 	})
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1,e2,e3,e4,a1,a2,a4,a5,a6 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1,e2,e3,e4,e5,a1,a2,a4,a5,a6 or all)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -61,6 +61,8 @@ type BufferStats struct {
 	Retransmits   uint64
 	Misses        uint64 // NAKed sequence numbers no longer buffered
 	Repointed     uint64 // transit packets re-homed to this buffer
+	Crashes       uint64 // Crash() invocations (chaos testing)
+	DroppedDown   uint64 // frames discarded while crashed
 }
 
 type bufKey struct {
@@ -83,6 +85,7 @@ type BufferNode struct {
 	store map[bufKey][]byte
 	order []bufKey // FIFO for eviction
 	bytes int
+	down  bool // crashed: all traffic is discarded until Restart
 }
 
 // NewBufferNode creates a buffer node and registers it on the network.
@@ -119,8 +122,34 @@ func (b *BufferNode) BufferedBytes() int { return b.bytes }
 // Attach implements netsim.Handler.
 func (b *BufferNode) Attach(n *netsim.Node) { b.node = n }
 
+// Crash models the DTN process dying: from now until Restart every
+// arriving frame — data, NAKs, ACKs, transit — is discarded, and the
+// retransmission buffer is lost. Sequence counters survive (the journalled
+// state a production relay recovers); buffered payloads do not, so
+// post-Restart NAKs for pre-crash packets meet a cold buffer.
+func (b *BufferNode) Crash() {
+	if b.down {
+		return
+	}
+	b.down = true
+	b.Stats.Crashes++
+	b.store = make(map[bufKey][]byte)
+	b.order = nil
+	b.bytes = 0
+}
+
+// Restart brings a crashed node back into service with a cold buffer.
+func (b *BufferNode) Restart() { b.down = false }
+
+// IsDown reports whether the node is crashed.
+func (b *BufferNode) IsDown() bool { return b.down }
+
 // HandleFrame implements netsim.Handler.
 func (b *BufferNode) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
+	if b.down {
+		b.Stats.DroppedDown++
+		return
+	}
 	v := wire.View(f.Data)
 	if _, err := v.Check(); err != nil {
 		return

@@ -15,11 +15,22 @@ type ReceiverConfig struct {
 	// the first NAK is sent. Zero means 500 µs.
 	NAKDelay time.Duration
 	// NAKRetry is the retransmission-request timeout; it should cover the
-	// round trip to the nearest buffer. Zero means 5 ms.
+	// round trip to the nearest buffer. Zero means 5 ms. Retries back off
+	// exponentially, capped at NAKRetryMax.
 	NAKRetry time.Duration
+	// NAKRetryMax caps the exponential backoff between retries; zero
+	// means 500 ms. Without the cap a large MaxNAKs overflows the shift
+	// into a sub-tick retry spin.
+	NAKRetryMax time.Duration
 	// MaxNAKs bounds recovery attempts per sequence number before the
 	// packet is declared lost. Zero means 5.
 	MaxNAKs int
+	// OnGap reports each sequence number written off as permanently lost
+	// after MaxNAKs — the deliver-with-gap degradation signal.
+	OnGap func(exp wire.ExperimentID, seq uint64)
+	// Counters, when non-nil, records recoveries and permanent losses
+	// (normally shared with a faults.Plan's counter set).
+	Counters *telemetry.CounterSet
 	// AckInterval, when nonzero, emits cumulative ACKs to the buffer so
 	// it can trim acknowledged packets.
 	AckInterval time.Duration
@@ -137,6 +148,9 @@ func NewReceiverHandler(nw *netsim.Network, cfg ReceiverConfig) *Receiver {
 	if cfg.NAKRetry == 0 {
 		cfg.NAKRetry = 5 * time.Millisecond
 	}
+	if cfg.NAKRetryMax == 0 {
+		cfg.NAKRetryMax = 500 * time.Millisecond
+	}
 	if cfg.MaxNAKs == 0 {
 		cfg.MaxNAKs = 5
 	}
@@ -246,6 +260,7 @@ func (r *Receiver) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
 		if m.naks > 0 {
 			msg.Recovered = true
 			r.Stats.Recovered++
+			r.cfg.Counters.Inc(telemetry.CounterRecovered)
 			r.RecoveryHist.ObserveDuration(r.nw.Now().Sub(m.detected))
 		}
 	}
@@ -397,16 +412,20 @@ func (r *Receiver) fireNAKs(st *streamState) {
 			continue
 		}
 		if m.naks >= r.cfg.MaxNAKs {
-			// Give up: count as lost and stop tracking.
+			// Give up: count as lost and stop tracking, so delivery
+			// degrades to deliver-with-gap instead of NAKing forever.
 			delete(st.missing, seq)
 			st.received[seq] = true // write off so the floor advances
 			r.Stats.Lost++
+			r.cfg.Counters.Inc(telemetry.CounterPermanentLoss)
+			if r.cfg.OnGap != nil {
+				r.cfg.OnGap(st.exp, seq)
+			}
 			continue
 		}
 		due = append(due, seq)
 		m.naks++
-		// Exponential backoff on retries.
-		m.nextNAK = now.Add(r.cfg.NAKRetry << (m.naks - 1))
+		m.nextNAK = now.Add(r.retryBackoff(m.naks))
 	}
 	r.advanceFloor(st)
 	if r.cfg.Ordered {
@@ -424,6 +443,22 @@ func (r *Receiver) fireNAKs(st *streamState) {
 		}
 	}
 	r.armTimer(st)
+}
+
+// retryBackoff returns the backoff before retry n (1-based): base·2^(n-1)
+// clamped to NAKRetryMax. The clamp matters: an unclamped shift overflows
+// time.Duration once MaxNAKs exceeds ~40, degenerating into a sub-tick
+// retry spin on permanently lost packets.
+func (r *Receiver) retryBackoff(n int) time.Duration {
+	shift := n - 1
+	if shift > 20 {
+		shift = 20
+	}
+	b := r.cfg.NAKRetry << shift
+	if b <= 0 || b > r.cfg.NAKRetryMax {
+		b = r.cfg.NAKRetryMax
+	}
+	return b
 }
 
 // toRanges compresses a sorted-or-not seq list into inclusive ranges.

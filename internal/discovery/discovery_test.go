@@ -190,3 +190,110 @@ func TestUnattachedAgentPanicsOnStart(t *testing.T) {
 	}()
 	NewAgent(Config{Self: bufferAdvert(0, 0)}).Start()
 }
+
+// triangle builds A ── B ── C ── A with agents on every corner: the
+// redundant-path topology where each advert reaches every node twice.
+func triangle(t *testing.T, cfgMut func(*Config)) (*netsim.Network, []*Agent) {
+	t.Helper()
+	nw := netsim.New(1)
+	selfs := []wire.ResourceAdvert{bufferAdvert(0, 0), {}, {}}
+	agents := make([]*Agent, len(selfs))
+	nodes := make([]*netsim.Node, len(selfs))
+	for i, self := range selfs {
+		cfg := Config{Self: self, Interval: 10 * time.Millisecond, Rounds: 3}
+		if cfgMut != nil {
+			cfgMut(&cfg)
+		}
+		agents[i] = NewAgent(cfg)
+		addr := wire.AddrFrom(10, 0, byte(i), 1, 1)
+		nodes[i] = nw.AddNode(addr.String(), addr, NewWrap(&netsim.Sink{}, agents[i]))
+	}
+	link := netsim.LinkConfig{RateBps: netsim.Gbps(10), Delay: 100 * time.Microsecond}
+	nw.Connect(nodes[0], nodes[1], link)
+	nw.Connect(nodes[1], nodes[2], link)
+	nw.Connect(nodes[2], nodes[0], link)
+	return nw, agents
+}
+
+func TestDuplicateSeqFromTwoNeighborsDedups(t *testing.T) {
+	// On the triangle, C hears every advert of A twice per round: once
+	// directly, once relayed by B — same origin, same SeqNo, different
+	// ingress. The SeqNo dedup must keep one table entry, relay each fresh
+	// advert exactly once (no flood storm around the cycle), and keep the
+	// nearest-path hop count (the direct copy arrives first).
+	nw, agents := triangle(t, nil)
+	agents[0].Start()
+	nw.Loop().Run()
+
+	for i := 1; i < 3; i++ {
+		snap := agents[i].Snapshot()
+		if len(snap) != 1 {
+			t.Fatalf("agent %d learned %d entries, want 1", i, len(snap))
+		}
+		if snap[0].Hops != 0 {
+			t.Fatalf("agent %d kept hop count %d; the direct copy should win", i, snap[0].Hops)
+		}
+		// 3 rounds → exactly 3 fresh adverts → exactly 3 re-floods; the
+		// duplicate copy of each round must be consumed, not relayed.
+		if agents[i].Relayed != 3 {
+			t.Fatalf("agent %d relayed %d times, want 3", i, agents[i].Relayed)
+		}
+	}
+}
+
+func TestAdvertExpiresMidFloodThenFreshSeqRevives(t *testing.T) {
+	// An entry that expires mid-flood must stay out of the snapshot even
+	// if a late duplicate of the old advert straggles in — SeqNo dedup
+	// outranks refresh — while a genuinely fresh SeqNo revives it.
+	nw := netsim.New(1)
+	adv := NewAgent(Config{Self: bufferAdvert(0, 0), Interval: 10 * time.Millisecond, Rounds: 1, HoldFactor: 2})
+	rly := NewAgent(Config{Interval: 10 * time.Millisecond, Rounds: 1, HoldFactor: 2})
+	a := nw.AddNode("a", wire.AddrFrom(10, 0, 0, 1, 1), NewWrap(&netsim.Sink{}, adv))
+	b := nw.AddNode("b", wire.AddrFrom(10, 0, 1, 1, 1), NewWrap(&netsim.Sink{}, rly))
+	h := nw.AddNode("h", wire.AddrFrom(10, 0, 2, 1, 1), &netsim.Host{})
+	link := netsim.LinkConfig{RateBps: netsim.Gbps(10), Delay: 100 * time.Microsecond}
+	nw.Connect(a, b, link)
+	nw.Connect(b, h, link)
+
+	adv.Start()
+	nw.Loop().Run()
+	if len(rly.Snapshot()) != 1 {
+		t.Fatal("advert not learned")
+	}
+	relayedBefore := rly.Relayed
+
+	// Let the entry expire (hold is 2×10 ms).
+	nw.Loop().RunUntil(nw.Now().Add(time.Second))
+	if len(rly.Snapshot()) != 0 {
+		t.Fatal("stale entry survived the hold window")
+	}
+
+	// A late duplicate of the already-seen advert (same origin, same
+	// SeqNo 1) arrives from the other neighbor: it must neither revive
+	// the entry nor be re-flooded.
+	dup := bufferAdvert(0, 0)
+	dup.SeqNo = 1
+	dup.TTL = 8
+	data, err := dup.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SendTo(b.Addr, data)
+	nw.Loop().Run()
+	if len(rly.Snapshot()) != 0 {
+		t.Fatal("stale duplicate revived an expired entry")
+	}
+	if rly.Relayed != relayedBefore {
+		t.Fatalf("stale duplicate was re-flooded (%d → %d)", relayedBefore, rly.Relayed)
+	}
+
+	// A fresh advertising round (SeqNo 2) does revive it.
+	adv.Start()
+	nw.Loop().Run()
+	if len(rly.Snapshot()) != 1 {
+		t.Fatal("fresh advert did not revive the entry")
+	}
+	if rly.Relayed != relayedBefore+1 {
+		t.Fatalf("fresh advert not relayed exactly once (%d → %d)", relayedBefore, rly.Relayed)
+	}
+}

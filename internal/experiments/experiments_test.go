@@ -221,3 +221,56 @@ func TestA6BufferSizingShape(t *testing.T) {
 		t.Fatal("table malformed")
 	}
 }
+
+func TestE5FaultToleranceShape(t *testing.T) {
+	rows := E5FaultTolerance(300, 11)
+	byLabel := map[string]E5Row{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+
+	clean := byLabel["clean"]
+	if clean.Delivered != clean.Sent || clean.Recovered != 0 || clean.InjectedDrops != 0 {
+		t.Fatalf("clean row not clean: %+v", clean)
+	}
+
+	// The acceptance scenario: crash/restart under 10% burst loss still
+	// delivers every message sent, all repairs from the warm buffer.
+	cr := byLabel["burst loss + crash/restart"]
+	if cr.Delivered != cr.Sent || cr.Lost != 0 {
+		t.Fatalf("crash/restart incomplete: %+v", cr)
+	}
+	if cr.Recovered == 0 || cr.Crashes != 1 || cr.InjectedDrops == 0 {
+		t.Fatalf("crash/restart vacuous: %+v", cr)
+	}
+	if cr.RecoveryP50 <= 0 {
+		t.Fatalf("no recovery latency measured: %+v", cr)
+	}
+
+	// Graceful degradation: a cold buffer orphans gaps, delivery continues.
+	mid := byLabel["mid-flow crash (cold buffer)"]
+	if mid.Delivered >= mid.Sent {
+		t.Fatalf("mid-flow crash lost nothing: %+v", mid)
+	}
+	if mid.Delivered < mid.Sent*8/10 {
+		t.Fatalf("mid-flow crash lost too much: %+v", mid)
+	}
+
+	// Reordering below the NAK delay causes zero recovery traffic.
+	re := byLabel["10% reorder (2 ms)"]
+	if re.Delivered != re.Sent || re.NAKsSent != 0 || re.Recovered != 0 {
+		t.Fatalf("reorder row: %+v", re)
+	}
+
+	if !strings.Contains(E5Table(rows), "crash/restart") {
+		t.Fatal("table malformed")
+	}
+
+	// Same seed → identical fault schedule → identical outcome.
+	again := E5FaultTolerance(300, 11)
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("row %d diverged:\n%+v\n%+v", i, rows[i], again[i])
+		}
+	}
+}

@@ -11,8 +11,12 @@
 //   - Receiver: loss detection, NAK-based recovery from the relay, the
 //     destination timeliness check, and message delivery.
 //
-// The cmd/dmtp-send, cmd/dmtp-relay and cmd/dmtp-recv tools wrap these
-// roles for interactive use on loopback or a real LAN.
+// Every role accepts a Wrap hook that decorates its socket; internal/faults
+// provides a middleware that injects deterministic fault plans there, and
+// the Relay's Crash/Restart pair models a relay process dying and coming
+// back with a cold retransmission buffer. The cmd/dmtp-send,
+// cmd/dmtp-relay and cmd/dmtp-recv tools wrap these roles for interactive
+// use on loopback or a real LAN.
 package live
 
 import (
@@ -21,11 +25,25 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
 // now returns the wall clock as protocol nanoseconds.
 func now() uint64 { return uint64(time.Now().UnixNano()) }
+
+// UDPConn is the subset of *net.UDPConn the live roles use. Middleware
+// (e.g. internal/faults.Conn) implements the same interface, so a Wrap
+// hook can interpose fault injection without the roles knowing.
+type UDPConn interface {
+	ReadFromUDP(b []byte) (int, *net.UDPAddr, error)
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+	Write(b []byte) (int, error)
+	LocalAddr() net.Addr
+	Close() error
+	SetReadBuffer(bytes int) error
+	SetWriteDeadline(t time.Time) error
+}
 
 // toWireAddr converts a UDP address to the protocol's 4-byte form.
 func toWireAddr(a *net.UDPAddr) (wire.Addr, error) {
@@ -44,60 +62,178 @@ func toUDPAddr(a wire.Addr) *net.UDPAddr {
 	return &net.UDPAddr{IP: net.IPv4(a.IP[0], a.IP[1], a.IP[2], a.IP[3]), Port: int(a.Port)}
 }
 
-// Sender emits DAQ messages as mode-0 DMTP datagrams over UDP.
-type Sender struct {
-	conn       *net.UDPConn
-	experiment uint32
+// SenderConfig configures the instrument-side source.
+type SenderConfig struct {
+	// Dst is the relay (or receiver) address, e.g. "127.0.0.1:17580".
+	Dst string
+	// Experiment is the 24-bit experiment number.
+	Experiment uint32
+	// SendTimeout bounds each socket write; zero means 100 ms.
+	SendTimeout time.Duration
+	// Redials bounds reconnect attempts per Send after a write error
+	// (relay death surfaces as ECONNREFUSED on a connected UDP socket);
+	// zero means 3.
+	Redials int
+	// RedialBackoff is the initial delay between reconnect attempts,
+	// doubling each retry; zero means 5 ms.
+	RedialBackoff time.Duration
+	// Wrap, when non-nil, decorates the socket (fault middleware).
+	Wrap func(UDPConn) UDPConn
+	// Counters, when non-nil, records reconnects for observability.
+	Counters *telemetry.CounterSet
+}
 
-	mu   sync.Mutex
-	sent uint64
+func (c SenderConfig) withDefaults() SenderConfig {
+	if c.SendTimeout == 0 {
+		c.SendTimeout = 100 * time.Millisecond
+	}
+	if c.Redials == 0 {
+		c.Redials = 3
+	}
+	if c.RedialBackoff == 0 {
+		c.RedialBackoff = 5 * time.Millisecond
+	}
+	return c
+}
+
+// SenderStats are cumulative sender counters.
+type SenderStats struct {
+	Sent       uint64
+	SendErrors uint64 // socket writes that failed (relay death, timeout)
+	Reconnects uint64 // successful redials after a write error
+}
+
+// Sender emits DAQ messages as mode-0 DMTP datagrams over UDP. On write
+// errors it redials and resends with bounded exponential backoff, so a
+// relay restart does not wedge the source.
+type Sender struct {
+	cfg   SenderConfig
+	raddr *net.UDPAddr
+
+	mu    sync.Mutex
+	conn  UDPConn
+	stats SenderStats
 }
 
 // NewSender dials the relay (or receiver) at dst.
 func NewSender(dst string, experiment uint32) (*Sender, error) {
-	raddr, err := net.ResolveUDPAddr("udp4", dst)
-	if err != nil {
-		return nil, fmt.Errorf("live: resolve %q: %w", dst, err)
-	}
-	conn, err := net.DialUDP("udp4", nil, raddr)
-	if err != nil {
-		return nil, fmt.Errorf("live: dial %q: %w", dst, err)
-	}
-	return &Sender{conn: conn, experiment: experiment}, nil
+	return NewSenderWithConfig(SenderConfig{Dst: dst, Experiment: experiment})
 }
 
-// Send emits one message for the given instrument slice.
+// NewSenderWithConfig dials with full control over timeouts and middleware.
+func NewSenderWithConfig(cfg SenderConfig) (*Sender, error) {
+	cfg = cfg.withDefaults()
+	raddr, err := net.ResolveUDPAddr("udp4", cfg.Dst)
+	if err != nil {
+		return nil, fmt.Errorf("live: resolve %q: %w", cfg.Dst, err)
+	}
+	s := &Sender{cfg: cfg, raddr: raddr}
+	if err := s.dial(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// dial (re)establishes the connected socket. Callers hold s.mu or are the
+// constructor.
+func (s *Sender) dial() error {
+	conn, err := net.DialUDP("udp4", nil, s.raddr)
+	if err != nil {
+		return fmt.Errorf("live: dial %v: %w", s.raddr, err)
+	}
+	var c UDPConn = conn
+	if s.cfg.Wrap != nil {
+		c = s.cfg.Wrap(c)
+	}
+	s.conn = c
+	return nil
+}
+
+// Send emits one message for the given instrument slice, retrying through
+// reconnects when the relay is down. It returns the last error once the
+// redial budget is exhausted.
 func (s *Sender) Send(msg []byte, slice uint8) error {
 	h := wire.Header{
 		ConfigID:   0,
-		Experiment: wire.NewExperimentID(s.experiment, slice),
+		Experiment: wire.NewExperimentID(s.cfg.Experiment, slice),
 	}
 	pkt, err := h.AppendTo(make([]byte, 0, wire.CoreHeaderLen+len(msg)))
 	if err != nil {
 		return err
 	}
 	pkt = append(pkt, msg...)
-	if _, err := s.conn.Write(pkt); err != nil {
-		return fmt.Errorf("live: send: %w", err)
+
+	backoff := s.cfg.RedialBackoff
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.Redials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		s.mu.Lock()
+		if s.conn == nil {
+			if err := s.dial(); err != nil {
+				lastErr = err
+				s.mu.Unlock()
+				continue
+			}
+			s.stats.Reconnects++
+			s.cfg.Counters.Inc(telemetry.CounterReconnect)
+		}
+		s.conn.SetWriteDeadline(time.Now().Add(s.cfg.SendTimeout))
+		_, err := s.conn.Write(pkt)
+		if err == nil {
+			s.stats.Sent++
+			s.mu.Unlock()
+			return nil
+		}
+		// Relay death: a connected UDP socket reports ECONNREFUSED from
+		// the ICMP port-unreachable of an earlier send. Drop the socket
+		// and redial so the retry re-emits this message.
+		lastErr = err
+		s.stats.SendErrors++
+		s.conn.Close()
+		s.conn = nil
+		s.mu.Unlock()
 	}
-	s.mu.Lock()
-	s.sent++
-	s.mu.Unlock()
-	return nil
+	return fmt.Errorf("live: send: %w", lastErr)
 }
 
 // Sent returns the number of messages emitted.
 func (s *Sender) Sent() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sent
+	return s.stats.Sent
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // LocalAddr returns the sender's bound address.
-func (s *Sender) LocalAddr() string { return s.conn.LocalAddr().String() }
+func (s *Sender) LocalAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return ""
+	}
+	return s.conn.LocalAddr().String()
+}
 
 // Close releases the socket.
-func (s *Sender) Close() error { return s.conn.Close() }
+func (s *Sender) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return nil
+	}
+	err := s.conn.Close()
+	s.conn = nil
+	return err
+}
 
 // RelayConfig configures the software network element.
 type RelayConfig struct {
@@ -113,7 +249,11 @@ type RelayConfig struct {
 	CapacityBytes int
 	// DropEveryN, when > 0, deliberately drops every Nth forwarded data
 	// packet — fault injection so loopback demos exercise recovery.
+	// internal/faults supersedes this for scripted schedules.
 	DropEveryN int
+	// Wrap, when non-nil, decorates the socket (fault middleware); it is
+	// re-applied to the fresh socket on Restart.
+	Wrap func(UDPConn) UDPConn
 }
 
 // RelayStats are cumulative relay counters.
@@ -124,6 +264,7 @@ type RelayStats struct {
 	NAKs          uint64
 	Retransmits   uint64
 	Misses        uint64
+	Crashes       uint64
 }
 
 type relayKey struct {
@@ -134,16 +275,18 @@ type relayKey struct {
 // Relay is the live-path network element + buffer.
 type Relay struct {
 	cfg     RelayConfig
-	conn    *net.UDPConn
 	fwdAddr *net.UDPAddr
-	self    wire.Addr
 
 	mu     sync.Mutex
+	conn   UDPConn
+	bound  *net.UDPAddr // concrete bind address, reused by Restart
+	self   wire.Addr
 	stats  RelayStats
 	seqs   map[wire.ExperimentID]uint64
 	store  map[relayKey][]byte
 	order  []relayKey
 	bytes  int
+	down   bool // crashed, awaiting Restart
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -153,50 +296,71 @@ func NewRelay(cfg RelayConfig) (*Relay, error) {
 	if cfg.CapacityBytes == 0 {
 		cfg.CapacityBytes = 64 << 20
 	}
+	fwd, err := net.ResolveUDPAddr("udp4", cfg.Forward)
+	if err != nil {
+		return nil, fmt.Errorf("live: resolve forward %q: %w", cfg.Forward, err)
+	}
+	r := &Relay{
+		cfg:     cfg,
+		fwdAddr: fwd,
+		seqs:    make(map[wire.ExperimentID]uint64),
+		store:   make(map[relayKey][]byte),
+	}
 	laddr, err := net.ResolveUDPAddr("udp4", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("live: resolve listen %q: %w", cfg.Listen, err)
 	}
+	if err := r.bind(laddr); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// bind opens the socket at laddr and starts the receive loop. Callers are
+// the constructor or Restart (holding r.mu).
+func (r *Relay) bind(laddr *net.UDPAddr) error {
 	conn, err := net.ListenUDP("udp4", laddr)
 	if err != nil {
-		return nil, fmt.Errorf("live: listen %q: %w", cfg.Listen, err)
+		return fmt.Errorf("live: listen %v: %w", laddr, err)
 	}
 	// DAQ senders burst; a deep receive buffer is the userspace analogue
 	// of the DTN tuning the paper describes.
 	conn.SetReadBuffer(8 << 20)
-	fwd, err := net.ResolveUDPAddr("udp4", cfg.Forward)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("live: resolve forward %q: %w", cfg.Forward, err)
-	}
 	self, err := toWireAddr(conn.LocalAddr().(*net.UDPAddr))
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return err
 	}
 	if self.IP == ([4]byte{0, 0, 0, 0}) {
 		// Bound to the wildcard: advertise loopback so NAKs can reach us
 		// in single-host deployments.
 		self.IP = [4]byte{127, 0, 0, 1}
 	}
-	r := &Relay{
-		cfg:     cfg,
-		conn:    conn,
-		fwdAddr: fwd,
-		self:    self,
-		seqs:    make(map[wire.ExperimentID]uint64),
-		store:   make(map[relayKey][]byte),
+	var c UDPConn = conn
+	if r.cfg.Wrap != nil {
+		c = r.cfg.Wrap(c)
 	}
+	r.conn = c
+	r.bound = conn.LocalAddr().(*net.UDPAddr)
+	r.self = self
 	r.wg.Add(1)
-	go r.loop()
-	return r, nil
+	go r.loop(c)
+	return nil
 }
 
 // Addr returns the relay's bound address as a string.
-func (r *Relay) Addr() string { return r.conn.LocalAddr().String() }
+func (r *Relay) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bound.String()
+}
 
 // WireAddr returns the relay's protocol address (what headers point at).
-func (r *Relay) WireAddr() wire.Addr { return r.self }
+func (r *Relay) WireAddr() wire.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.self
+}
 
 // Stats returns a snapshot of the counters.
 func (r *Relay) Stats() RelayStats {
@@ -205,49 +369,113 @@ func (r *Relay) Stats() RelayStats {
 	return r.stats
 }
 
+// BufferedBytes returns current retransmission-buffer occupancy.
+func (r *Relay) BufferedBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+// Crash models the relay process dying: the socket closes abruptly and
+// the retransmission buffer is lost. Sequence counters survive (the
+// journalled state a production relay would recover); buffered payloads do
+// not — after Restart the buffer is cold, which is exactly the condition
+// NAK-based recovery must degrade gracefully under.
+func (r *Relay) Crash() {
+	r.mu.Lock()
+	if r.down || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.down = true
+	r.stats.Crashes++
+	r.store = make(map[relayKey][]byte)
+	r.order = nil
+	r.bytes = 0
+	conn := r.conn
+	r.mu.Unlock()
+	conn.Close()
+	r.wg.Wait()
+}
+
+// Restart rebinds the crashed relay on its original address with a cold
+// buffer and resumes forwarding. It is an error to Restart a relay that
+// has not crashed or is closed.
+func (r *Relay) Restart() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("live: relay closed")
+	}
+	if !r.down {
+		return fmt.Errorf("live: relay not crashed")
+	}
+	if err := r.bind(r.bound); err != nil {
+		return err
+	}
+	r.down = false
+	return nil
+}
+
+// Down reports whether the relay is crashed and awaiting Restart.
+func (r *Relay) Down() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.down
+}
+
 // Close stops the relay.
 func (r *Relay) Close() error {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
 	r.closed = true
+	conn := r.conn
+	wasDown := r.down
 	r.mu.Unlock()
-	err := r.conn.Close()
+	var err error
+	if !wasDown && conn != nil {
+		err = conn.Close()
+	}
 	r.wg.Wait()
 	return err
 }
 
-func (r *Relay) loop() {
+func (r *Relay) loop(conn UDPConn) {
 	defer r.wg.Done()
 	buf := make([]byte, 64<<10)
 	for {
-		n, _, err := r.conn.ReadFromUDP(buf)
+		n, _, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			r.mu.Lock()
-			closed := r.closed
+			stop := r.closed || r.down
 			r.mu.Unlock()
-			if closed {
+			if stop {
 				return
 			}
 			continue
 		}
 		pkt := append([]byte(nil), buf[:n]...)
-		r.handle(pkt)
+		r.handle(conn, pkt)
 	}
 }
 
-func (r *Relay) handle(pkt []byte) {
+func (r *Relay) handle(conn UDPConn, pkt []byte) {
 	v := wire.View(pkt)
 	if _, err := v.Check(); err != nil {
 		return
 	}
 	if v.IsControl() {
-		r.handleControl(pkt, v)
+		r.handleControl(conn, pkt, v)
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if v.ConfigID() != 0 {
 		// Already upgraded: forward unmodified.
-		r.conn.WriteToUDP(pkt, r.fwdAddr)
+		conn.WriteToUDP(pkt, r.fwdAddr)
 		r.stats.Forwarded++
 		return
 	}
@@ -271,7 +499,7 @@ func (r *Relay) handle(pkt []byte) {
 		r.stats.InjectedDrops++
 		return
 	}
-	r.conn.WriteToUDP(up, r.fwdAddr)
+	conn.WriteToUDP(up, r.fwdAddr)
 	r.stats.Forwarded++
 }
 
@@ -291,7 +519,7 @@ func (r *Relay) stash(exp wire.ExperimentID, seq uint64, pkt []byte) {
 	r.bytes += len(cp)
 }
 
-func (r *Relay) handleControl(pkt []byte, v wire.View) {
+func (r *Relay) handleControl(conn UDPConn, pkt []byte, v wire.View) {
 	if v.ConfigID() != wire.ConfigNAK {
 		return
 	}
@@ -306,7 +534,7 @@ func (r *Relay) handleControl(pkt []byte, v wire.View) {
 	for _, rg := range nak.Ranges {
 		for seq := rg.From; seq <= rg.To; seq++ {
 			if data, ok := r.store[relayKey{nak.Experiment, seq}]; ok {
-				r.conn.WriteToUDP(data, dst)
+				conn.WriteToUDP(data, dst)
 				r.stats.Retransmits++
 			} else {
 				r.stats.Misses++

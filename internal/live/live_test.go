@@ -80,7 +80,7 @@ func TestLiveLosslessDelivery(t *testing.T) {
 	}
 	waitFor(t, 5*time.Second, func() bool { return recv.Stats().Delivered >= n }, "delivery")
 	st := recv.Stats()
-	if st.Duplicates != 0 || st.Lost != 0 {
+	if st.Duplicates != 0 || st.PermanentLoss != 0 {
 		t.Fatalf("stats %+v", st)
 	}
 	if relay.Stats().Upgraded != n {
@@ -111,7 +111,7 @@ func TestLiveRecoveryFromInjectedLoss(t *testing.T) {
 	// to reveal the gap — inherent to NAK schemes).
 	waitFor(t, 10*time.Second, func() bool {
 		st := recv.Stats()
-		return st.Delivered+st.Lost >= n-1 && recv.OutstandingGaps() == 0
+		return st.Delivered+st.PermanentLoss >= n-1 && recv.OutstandingGaps() == 0
 	}, "recovery")
 	st := recv.Stats()
 	if st.Recovered == 0 || st.NAKsSent == 0 {

@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -16,12 +17,30 @@ type ReceiverConfig struct {
 	Listen string
 	// NAKDelay is the reorder tolerance before the first NAK (default 2 ms).
 	NAKDelay time.Duration
-	// NAKRetry is the retry timeout (default 20 ms).
+	// NAKRetry is the base retry timeout (default 20 ms). Retries back
+	// off exponentially with jitter, capped at NAKRetryMax.
 	NAKRetry time.Duration
-	// MaxNAKs bounds recovery attempts (default 5).
+	// NAKRetryMax caps the backoff between retries (default 500 ms); it
+	// keeps the cadence sane when MaxNAKs is large enough that a bare
+	// exponential would overflow into a busy spin.
+	NAKRetryMax time.Duration
+	// MaxNAKs bounds recovery attempts per sequence number (default 5):
+	// past it the gap is written off as permanent loss, delivery
+	// continues around it, and OnGap (if set) is notified.
 	MaxNAKs int
+	// Seed drives the retry jitter, for deterministic tests.
+	Seed int64
 	// OnMessage delivers each message; called from the receive goroutine.
 	OnMessage func(m Message)
+	// OnGap reports each sequence number written off as permanently lost
+	// — the graceful-degradation signal for deliver-with-gap consumers.
+	// Called from the NAK goroutine.
+	OnGap func(exp wire.ExperimentID, seq uint64)
+	// Wrap, when non-nil, decorates the socket (fault middleware).
+	Wrap func(UDPConn) UDPConn
+	// Counters, when non-nil, is the shared fault/recovery counter set
+	// (normally a faults.Plan's); a private set is created otherwise.
+	Counters *telemetry.CounterSet
 }
 
 // Message is one delivered message on the live path.
@@ -37,14 +56,14 @@ type Message struct {
 
 // ReceiverStats are cumulative receiver counters.
 type ReceiverStats struct {
-	Received   uint64
-	Delivered  uint64
-	Duplicates uint64
-	NAKsSent   uint64
-	Recovered  uint64
-	Lost       uint64
-	Aged       uint64
-	Late       uint64
+	Received      uint64
+	Delivered     uint64
+	Duplicates    uint64
+	NAKsSent      uint64
+	Recovered     uint64
+	PermanentLoss uint64 // gaps written off after MaxNAKs
+	Aged          uint64
+	Late          uint64
 }
 
 type liveMissing struct {
@@ -64,17 +83,21 @@ type liveStream struct {
 // Receiver is the live-path destination endpoint.
 type Receiver struct {
 	cfg  ReceiverConfig
-	conn *net.UDPConn
+	conn UDPConn
 	self wire.Addr
 
 	mu      sync.Mutex
 	stats   ReceiverStats
 	streams map[wire.ExperimentID]*liveStream
+	rng     *rand.Rand // retry jitter; guarded by mu
 	closed  bool
 	wg      sync.WaitGroup
 
 	// LatencyHist records origin→delivery latency (mutex-guarded).
 	LatencyHist *telemetry.Histogram
+	// Counters records recoveries and permanent losses alongside any
+	// injected faults sharing the set.
+	Counters *telemetry.CounterSet
 }
 
 // NewReceiver binds the receiver and starts its loops.
@@ -85,8 +108,14 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if cfg.NAKRetry == 0 {
 		cfg.NAKRetry = 20 * time.Millisecond
 	}
+	if cfg.NAKRetryMax == 0 {
+		cfg.NAKRetryMax = 500 * time.Millisecond
+	}
 	if cfg.MaxNAKs == 0 {
 		cfg.MaxNAKs = 5
+	}
+	if cfg.Counters == nil {
+		cfg.Counters = telemetry.NewCounterSet()
 	}
 	laddr, err := net.ResolveUDPAddr("udp4", cfg.Listen)
 	if err != nil {
@@ -105,12 +134,18 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if self.IP == ([4]byte{0, 0, 0, 0}) {
 		self.IP = [4]byte{127, 0, 0, 1}
 	}
+	var c UDPConn = conn
+	if cfg.Wrap != nil {
+		c = cfg.Wrap(c)
+	}
 	r := &Receiver{
 		cfg:         cfg,
-		conn:        conn,
+		conn:        c,
 		self:        self,
 		streams:     make(map[wire.ExperimentID]*liveStream),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		LatencyHist: telemetry.NewHistogram(),
+		Counters:    cfg.Counters,
 	}
 	r.wg.Add(2)
 	go r.readLoop()
@@ -232,6 +267,7 @@ func (r *Receiver) handle(pkt []byte) {
 		if m.naks > 0 {
 			msg.Recovered = true
 			r.stats.Recovered++
+			r.Counters.Inc(telemetry.CounterRecovered)
 		}
 	}
 	if seq > st.maxSeen {
@@ -269,6 +305,21 @@ func (r *Receiver) stream(exp wire.ExperimentID) *liveStream {
 	return st
 }
 
+// retryBackoff returns the jittered exponential backoff before retry n
+// (1-based): base·2^(n-1) clamped to NAKRetryMax, then jittered uniformly
+// in [½, 1½)× so synchronized gaps don't NAK in lockstep. r.mu is held.
+func (r *Receiver) retryBackoff(n int) time.Duration {
+	shift := n - 1
+	if shift > 20 {
+		shift = 20 // beyond the clamp anyway; avoid Duration overflow
+	}
+	b := r.cfg.NAKRetry << shift
+	if b <= 0 || b > r.cfg.NAKRetryMax {
+		b = r.cfg.NAKRetryMax
+	}
+	return b/2 + time.Duration(r.rng.Int63n(int64(b)))
+}
+
 // nakLoop periodically fires due NAKs. A production implementation would
 // use per-stream timers; a 1 ms sweep is ample for the live demo.
 func (r *Receiver) nakLoop() {
@@ -285,7 +336,12 @@ func (r *Receiver) nakLoop() {
 			dst    wire.Addr
 			packet []byte
 		}
+		type gap struct {
+			exp wire.ExperimentID
+			seq uint64
+		}
 		var sends []sendReq
+		var gaps []gap
 		for exp, st := range r.streams {
 			var due []uint64
 			for seq, m := range st.missing {
@@ -293,14 +349,19 @@ func (r *Receiver) nakLoop() {
 					continue
 				}
 				if m.naks >= r.cfg.MaxNAKs {
+					// Retry cap: write the gap off as permanent loss so
+					// the floor advances and delivery degrades to
+					// deliver-with-gap instead of NAKing forever.
 					delete(st.missing, seq)
 					st.received[seq] = true
-					r.stats.Lost++
+					r.stats.PermanentLoss++
+					r.Counters.Inc(telemetry.CounterPermanentLoss)
+					gaps = append(gaps, gap{exp, seq})
 					continue
 				}
 				due = append(due, seq)
 				m.naks++
-				m.nextNAK = t.Add(r.cfg.NAKRetry << (m.naks - 1))
+				m.nextNAK = t.Add(r.retryBackoff(m.naks))
 			}
 			for st.received[st.floor+1] {
 				delete(st.received, st.floor+1)
@@ -315,9 +376,15 @@ func (r *Receiver) nakLoop() {
 				r.stats.NAKsSent++
 			}
 		}
+		onGap := r.cfg.OnGap
 		r.mu.Unlock()
 		for _, s := range sends {
 			r.conn.WriteToUDP(s.packet, toUDPAddr(s.dst))
+		}
+		if onGap != nil {
+			for _, g := range gaps {
+				onGap(g.exp, g.seq)
+			}
 		}
 	}
 }

@@ -91,6 +91,10 @@ type PortStats struct {
 	DropsAgedEvicted   uint64 // frames evicted by the deadline-aware AQM
 	DropsCorrupt       uint64 // frames lost to simulated bit corruption
 	DropsRandom        uint64 // frames lost to the direct loss probability
+	DropsFault         uint64 // frames dropped by the injected fault plan
+	FaultCorrupted     uint64 // frames bit-flipped by the fault plan
+	FaultDuplicated    uint64 // frames duplicated by the fault plan
+	FaultDelayed       uint64 // frames delayed (reordered) by the fault plan
 	QueueHighWatermark int
 	BusyTime           time.Duration // cumulative serialization time
 }
@@ -122,6 +126,10 @@ type LinkConfig struct {
 	// evicted before the incoming frame is dropped (paper §5.3: explicit
 	// transport deadlines "provide … an input to active queue management").
 	DeadlineAware bool
+	// Fault, when non-nil, injects scripted faults (drop bursts, reorder,
+	// duplication, corruption, flaps) per frame at delivery time — see
+	// internal/faults for the deterministic plan that normally backs it.
+	Fault FaultFunc
 }
 
 func (c LinkConfig) withDefaults() LinkConfig {
@@ -224,6 +232,35 @@ func (p *Port) transmitNext() {
 
 func (p *Port) deliver(f *Frame, size int) {
 	net := p.Node.Net
+	var extra time.Duration
+	if p.Cfg.Fault != nil {
+		d := p.Cfg.Fault(net.Now(), f)
+		if d.Drop {
+			p.Stats.DropsFault++
+			net.observeDrop(p, f)
+			return
+		}
+		if d.CorruptBit >= 0 && len(f.Data) > 0 {
+			// Corrupt a copy: the original bytes may alias an upstream
+			// retransmission buffer, which must keep the clean packet.
+			cp := *f
+			cp.Data = append([]byte(nil), f.Data...)
+			bit := d.CorruptBit % (len(cp.Data) * 8)
+			cp.Data[bit/8] ^= 1 << (bit % 8)
+			f = &cp
+			p.Stats.FaultCorrupted++
+		}
+		if d.Duplicate {
+			p.Stats.FaultDuplicated++
+			dup := *f
+			dup.Data = append([]byte(nil), f.Data...)
+			p.propagate(&dup, size, p.Cfg.Delay+d.ExtraDelay+time.Microsecond)
+		}
+		if d.ExtraDelay > 0 {
+			p.Stats.FaultDelayed++
+			extra = d.ExtraDelay
+		}
+	}
 	if p.Cfg.LossProb > 0 && net.rng.Float64() < p.Cfg.LossProb {
 		p.Stats.DropsRandom++
 		net.observeDrop(p, f)
@@ -242,11 +279,17 @@ func (p *Port) deliver(f *Frame, size int) {
 			return
 		}
 	}
-	peer := p.Peer
-	delay := p.Cfg.Delay
+	delay := p.Cfg.Delay + extra
 	if p.Cfg.Jitter > 0 {
 		delay += time.Duration(net.rng.Int63n(int64(p.Cfg.Jitter)))
 	}
+	p.propagate(f, size, delay)
+}
+
+// propagate delivers f to the peer after delay, counting ingress stats.
+func (p *Port) propagate(f *Frame, size int, delay time.Duration) {
+	net := p.Node.Net
+	peer := p.Peer
 	net.loop.After(delay, func() {
 		peer.Stats.RxFrames++
 		peer.Stats.RxBytes += uint64(size)
@@ -282,6 +325,28 @@ func pow1m(p, n float64) float64 {
 	}
 	return e
 }
+
+// FaultDecision is a fault-injection verdict for one frame, produced by a
+// FaultFunc (normally an adapter over a faults.Plan).
+type FaultDecision struct {
+	// Drop discards the frame; Kind is a label for the injecting layer's
+	// own accounting (netsim only counts DropsFault).
+	Drop bool
+	Kind string
+	// Duplicate delivers the frame twice.
+	Duplicate bool
+	// CorruptBit, when ≥ 0, flips that bit (mod frame length) in a copy
+	// of the frame before delivery.
+	CorruptBit int
+	// ExtraDelay postpones this frame's delivery, reordering it past
+	// later frames on the link.
+	ExtraDelay time.Duration
+}
+
+// FaultFunc is consulted once per frame at delivery time, on the virtual
+// clock. It runs before the link's own stochastic loss models, so scripted
+// faults are exact regardless of LossProb/BER settings.
+type FaultFunc func(now sim.Time, f *Frame) FaultDecision
 
 // DropObserver receives every dropped frame, letting experiments account
 // for losses without scraping per-port counters.

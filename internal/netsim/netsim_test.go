@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -278,5 +279,67 @@ func TestJitterReordersFrames(t *testing.T) {
 	}
 	if inversions == 0 {
 		t.Fatal("jitter produced no reordering")
+	}
+}
+
+func TestLinkFaultHook(t *testing.T) {
+	// Script per-packet verdicts by arrival index: drop #2, duplicate #3,
+	// corrupt #4 (flip bit 0), delay #5 by 1 ms.
+	idx := 0
+	fault := func(now sim.Time, f *Frame) FaultDecision {
+		idx++
+		d := FaultDecision{CorruptBit: -1}
+		switch idx {
+		case 2:
+			d.Drop, d.Kind = true, "test.drop"
+		case 3:
+			d.Duplicate = true
+		case 4:
+			d.CorruptBit = 0
+		case 5:
+			d.ExtraDelay = time.Millisecond
+		}
+		return d
+	}
+	cfg := LinkConfig{RateBps: Gbps(100), Delay: 10 * time.Microsecond, Fault: fault}
+	nw, _, hb, a, _ := twoHosts(t, cfg)
+	type arrival struct {
+		at   time.Duration
+		data byte
+	}
+	var got []arrival
+	hb.Recv = func(f *Frame) { got = append(got, arrival{time.Duration(nw.Now()), f.Data[0]}) }
+	for i := 1; i <= 5; i++ {
+		a.SendTo(wire.AddrFrom(10, 0, 0, 2, 1), []byte{byte(i)})
+	}
+	nw.Loop().Run()
+
+	st := a.Port(0).Stats
+	if st.DropsFault != 1 || st.FaultDuplicated != 1 || st.FaultCorrupted != 1 || st.FaultDelayed != 1 {
+		t.Fatalf("fault stats %+v", st)
+	}
+	// 5 offered - 1 dropped + 1 duplicated = 5 arrivals; the delayed
+	// packet (payload 5) lands last, 1 ms after the rest.
+	if len(got) != 5 {
+		t.Fatalf("arrivals %v", got)
+	}
+	counts := map[byte]int{}
+	for _, g := range got {
+		counts[g.data]++
+	}
+	if counts[2] != 0 {
+		t.Fatal("dropped packet delivered")
+	}
+	if counts[3] != 2 {
+		t.Fatalf("duplicate count %d", counts[3])
+	}
+	// Payload 4 with bit 0 flipped arrives as 5; together with the genuine
+	// (delayed) 5 that makes two arrivals of value 5 and none of 4.
+	if counts[4] != 0 || counts[5] != 2 {
+		t.Fatalf("corruption not applied: %v", counts)
+	}
+	last := got[len(got)-1]
+	if last.data != 5 || last.at < time.Millisecond {
+		t.Fatalf("delayed packet not last/late: %+v", last)
 	}
 }

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet()
+	c.Inc(CounterRecovered)
+	c.Add(CounterRecovered, 2)
+	c.Inc(CounterPermanentLoss)
+	if got := c.Get(CounterRecovered); got != 3 {
+		t.Fatalf("Get = %d", got)
+	}
+	if got := c.Get("never.touched"); got != 0 {
+		t.Fatalf("absent counter = %d", got)
+	}
+	if got := c.Total("recover."); got != 4 {
+		t.Fatalf("Total = %d", got)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap[CounterRecovered] != 3 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	// Snapshot is a copy, not a view.
+	snap[CounterRecovered] = 99
+	if c.Get(CounterRecovered) != 3 {
+		t.Fatal("snapshot aliased the live map")
+	}
+}
+
+func TestCounterSetStringSorted(t *testing.T) {
+	c := NewCounterSet()
+	c.Inc("b.second")
+	c.Inc("a.first")
+	if got := c.String(); got != "a.first=1 b.second=1" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := NewCounterSet().String(); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestCounterSetNilReceiverSafe(t *testing.T) {
+	// Components take an optional *CounterSet; every method must be a
+	// no-op (not a panic) when it was never configured.
+	var c *CounterSet
+	c.Inc("x")
+	c.Add("x", 5)
+	if c.Get("x") != 0 || c.Total("") != 0 {
+		t.Fatal("nil set returned counts")
+	}
+	if c.Snapshot() != nil {
+		t.Fatal("nil set snapshot not nil")
+	}
+	if c.String() != "" {
+		t.Fatal("nil set String not empty")
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("shared")
+				c.Get("shared")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != 8000 {
+		t.Fatalf("shared = %d", got)
+	}
+}
