@@ -3,27 +3,53 @@
 //
 //	benchtab -exp all
 //	benchtab -exp e3 -messages 1000 -seed 7
+//	benchtab -json > bench.json
 //
 // Experiment IDs follow DESIGN.md: e1 (Table 1), e2 (Fig 2), e3 (Fig 3:
 // loss sweep + alert fan-out + back-pressure), e4 (Fig 4 pilot), e5
 // (fault-tolerance chaos matrix), a1
 // (buffer placement), a2 (HOL blocking), a4 (capacity planning), a5
 // (deadline-aware AQM), a6 (buffer sizing).
+//
+// With -json the tables are suppressed and a machine-readable benchmark
+// document (schema "benchtab/v1") is written to stdout instead: run
+// parameters plus per-experiment wall time. BENCH_baseline.json at the
+// repo root embeds one such document; see EXPERIMENTS.md for the format
+// and regeneration recipe.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
+
+// expTiming is one experiment's entry in the -json document.
+type expTiming struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// benchDoc is the -json output document.
+type benchDoc struct {
+	Schema      string      `json:"schema"`
+	Messages    int         `json:"messages"`
+	Seed        int64       `json:"seed"`
+	Experiments []expTiming `json:"experiments"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: e1,e2,e3,e4,e5,a1,a2,a4,a5,a6 or all")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	messages := flag.Int("messages", 1000, "messages per run")
+	jsonOut := flag.Bool("json", false, "suppress tables; emit a benchtab/v1 JSON benchmark document")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -33,55 +59,76 @@ func main() {
 	all := want["all"]
 	ran := 0
 
-	section := func(id, title string, run func()) {
+	out := io.Writer(os.Stdout)
+	if *jsonOut {
+		out = io.Discard
+	}
+	var timings []expTiming
+
+	section := func(id, title string, run func(w io.Writer)) {
 		if !all && !want[id] {
 			return
 		}
 		ran++
-		fmt.Printf("=== %s — %s ===\n", strings.ToUpper(id), title)
-		run()
-		fmt.Println()
+		fmt.Fprintf(out, "=== %s — %s ===\n", strings.ToUpper(id), title)
+		start := time.Now()
+		run(out)
+		timings = append(timings, expTiming{
+			ID: id, Title: title,
+			WallMs: float64(time.Since(start).Microseconds()) / 1000,
+		})
+		fmt.Fprintln(out)
 	}
 
-	section("e1", "Table 1: DAQ rates (generators at 1/1000 scale)", func() {
-		fmt.Print(experiments.E1TableString(experiments.E1Table1(1000, *messages, *seed)))
+	section("e1", "Table 1: DAQ rates (generators at 1/1000 scale)", func(w io.Writer) {
+		fmt.Fprint(w, experiments.E1TableString(experiments.E1Table1(1000, *messages, *seed)))
 	})
-	section("e2", "Fig 2: today's transport chain, measured", func() {
+	section("e2", "Fig 2: today's transport chain, measured", func(w io.Writer) {
 		res := experiments.E2Fig2Baseline(experiments.E2Config{Seed: *seed, Messages: *messages, WANLoss: 1e-3})
-		fmt.Print(res.Table())
+		fmt.Fprint(w, res.Table())
 	})
-	section("e3", "Fig 3: multi-modal transport vs today's chain", func() {
-		fmt.Println("-- flow completion under WAN loss --")
-		fmt.Print(experiments.E3LossTable(experiments.E3LossSweep(nil, *messages, *seed)))
-		fmt.Println("\n-- multi-domain alert distribution --")
-		fmt.Print(experiments.E3AlertFanout(*messages/2, *seed).Table())
-		fmt.Println("\n-- back-pressure at a 1 Gbps bottleneck --")
-		fmt.Print(experiments.E3BackPressure(2*(*messages), *seed).Table())
+	section("e3", "Fig 3: multi-modal transport vs today's chain", func(w io.Writer) {
+		fmt.Fprintln(w, "-- flow completion under WAN loss --")
+		fmt.Fprint(w, experiments.E3LossTable(experiments.E3LossSweep(nil, *messages, *seed)))
+		fmt.Fprintln(w, "\n-- multi-domain alert distribution --")
+		fmt.Fprint(w, experiments.E3AlertFanout(*messages/2, *seed).Table())
+		fmt.Fprintln(w, "\n-- back-pressure at a 1 Gbps bottleneck --")
+		fmt.Fprint(w, experiments.E3BackPressure(2*(*messages), *seed).Table())
 	})
-	section("e4", "Fig 4 / §5.4: pilot study", func() {
-		fmt.Print(experiments.E4Table(experiments.E4Pilot(*messages, *seed)))
+	section("e4", "Fig 4 / §5.4: pilot study", func(w io.Writer) {
+		fmt.Fprint(w, experiments.E4Table(experiments.E4Pilot(*messages, *seed)))
 	})
-	section("e5", "Fault tolerance: seeded chaos scenarios", func() {
-		fmt.Print(experiments.E5Table(experiments.E5FaultTolerance(*messages, *seed)))
+	section("e5", "Fault tolerance: seeded chaos scenarios", func(w io.Writer) {
+		fmt.Fprint(w, experiments.E5Table(experiments.E5FaultTolerance(*messages, *seed)))
 	})
-	section("a1", "Ablation: retransmission-buffer placement", func() {
-		fmt.Print(experiments.A1Table(experiments.A1BufferPlacement(nil, *messages, 5e-3, *seed)))
+	section("a1", "Ablation: retransmission-buffer placement", func(w io.Writer) {
+		fmt.Fprint(w, experiments.A1Table(experiments.A1BufferPlacement(nil, *messages, 5e-3, *seed)))
 	})
-	section("a2", "Ablation: head-of-line blocking", func() {
-		fmt.Print(experiments.A2HOLBlocking(5e-3, *messages, *seed).Table())
+	section("a2", "Ablation: head-of-line blocking", func(w io.Writer) {
+		fmt.Fprint(w, experiments.A2HOLBlocking(5e-3, *messages, *seed).Table())
 	})
-	section("a4", "Ablation: capacity-planned coexistence", func() {
-		fmt.Print(experiments.A4CapacityPlanning(2*(*messages), *seed).Table())
+	section("a4", "Ablation: capacity-planned coexistence", func(w io.Writer) {
+		fmt.Fprint(w, experiments.A4CapacityPlanning(2*(*messages), *seed).Table())
 	})
-	section("a5", "Ablation: deadline-aware AQM", func() {
-		fmt.Print(experiments.A5DeadlineAQM(*messages, *seed).Table())
+	section("a5", "Ablation: deadline-aware AQM", func(w io.Writer) {
+		fmt.Fprint(w, experiments.A5DeadlineAQM(*messages, *seed).Table())
 	})
-	section("a6", "Ablation: retransmission-buffer sizing", func() {
-		fmt.Print(experiments.A6Table(experiments.A6BufferSizing(nil, 10*(*messages), *seed)))
+	section("a6", "Ablation: retransmission-buffer sizing", func(w io.Writer) {
+		fmt.Fprint(w, experiments.A6Table(experiments.A6BufferSizing(nil, 10*(*messages), *seed)))
 	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1,e2,e3,e4,e5,a1,a2,a4,a5,a6 or all)\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(benchDoc{
+			Schema: "benchtab/v1", Messages: *messages, Seed: *seed, Experiments: timings,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -93,7 +93,7 @@ type TCPSender struct {
 	// RTT estimation (Jacobson/Karhels) and RTO.
 	srtt, rttvar time.Duration
 	rto          time.Duration
-	rtoTimer     *sim.Timer
+	rtoTimer     sim.Timer
 	rtoBackoff   uint
 	// sampleSeq/sampleAt track one in-flight RTT measurement (Karn's rule:
 	// never sample retransmitted data).
@@ -288,10 +288,8 @@ func (s *TCPSender) rttSample(m time.Duration) {
 }
 
 func (s *TCPSender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Stop()
+	s.rtoTimer = sim.Timer{}
 	if s.Outstanding() == 0 {
 		return
 	}
@@ -300,7 +298,7 @@ func (s *TCPSender) armRTO() {
 }
 
 func (s *TCPSender) onRTO() {
-	s.rtoTimer = nil
+	s.rtoTimer = sim.Timer{}
 	if s.Outstanding() == 0 {
 		return
 	}
@@ -324,10 +322,8 @@ func (s *TCPSender) onRTO() {
 func (s *TCPSender) maybeDone() {
 	if s.closed && !s.done && len(s.buf) == 0 {
 		s.done = true
-		if s.rtoTimer != nil {
-			s.rtoTimer.Stop()
-			s.rtoTimer = nil
-		}
+		s.rtoTimer.Stop()
+		s.rtoTimer = sim.Timer{}
 		if s.OnComplete != nil {
 			s.OnComplete()
 		}

@@ -95,7 +95,7 @@ type streamState struct {
 	received     map[uint64]bool
 	missing      map[uint64]*missing
 	buffer       wire.Addr // most recent retransmission-buffer pointer
-	timer        *sim.Timer
+	timer        sim.Timer
 	lastActivity sim.Time
 	ackArmed     bool
 	// Ordered-delivery state: messages awaiting their turn and the next
@@ -375,10 +375,8 @@ func (r *Receiver) advanceFloor(st *streamState) {
 // armTimer (re)schedules the NAK timer for the earliest pending action.
 func (r *Receiver) armTimer(st *streamState) {
 	if len(st.missing) == 0 {
-		if st.timer != nil {
-			st.timer.Stop()
-			st.timer = nil
-		}
+		st.timer.Stop()
+		st.timer = sim.Timer{}
 		return
 	}
 	var earliest sim.Time
@@ -389,7 +387,7 @@ func (r *Receiver) armTimer(st *streamState) {
 			first = false
 		}
 	}
-	if st.timer != nil {
+	if st.timer.Pending() {
 		if st.timer.When() <= earliest {
 			return
 		}
@@ -399,7 +397,7 @@ func (r *Receiver) armTimer(st *streamState) {
 		earliest = r.nw.Now()
 	}
 	st.timer = r.nw.Loop().At(earliest, func() {
-		st.timer = nil
+		st.timer = sim.Timer{}
 		r.fireNAKs(st)
 	})
 }

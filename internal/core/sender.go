@@ -68,8 +68,8 @@ type Sender struct {
 	paused     bool
 	tokens     float64 // bytes
 	lastRefill sim.Time
-	drainTimer *sim.Timer
-	recover    *sim.Timer
+	drainTimer sim.Timer
+	recover    sim.Timer
 
 	meter telemetry.Meter
 }
@@ -139,9 +139,7 @@ func (s *Sender) applyBackPressure(sig *wire.BackPressureSignal) {
 	}
 	// Schedule gradual recovery: double the rate periodically until back
 	// to the configured behaviour.
-	if s.recover != nil {
-		s.recover.Stop()
-	}
+	s.recover.Stop()
 	s.recover = s.nw.Loop().After(s.cfg.RecoverInterval, s.recoverStep)
 }
 
@@ -233,14 +231,14 @@ func (s *Sender) sendNow(pkt []byte) {
 // kickDrain drains the pending queue subject to pause state and the token
 // bucket.
 func (s *Sender) kickDrain() {
-	if s.drainTimer != nil {
+	if s.drainTimer.Pending() {
 		return // drain already scheduled
 	}
 	s.drain()
 }
 
 func (s *Sender) drain() {
-	s.drainTimer = nil
+	s.drainTimer = sim.Timer{}
 	if s.paused {
 		return // resumed by a recovery step or a clear signal
 	}

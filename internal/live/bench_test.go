@@ -1,0 +1,51 @@
+package live
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// benchPayload is a DAQ-fragment-sized message body (the pilot's generators
+// emit ~1 KiB fragments after h5lite framing).
+const benchPayloadLen = 1024
+
+// BenchmarkLiveLoopback measures live-path send throughput over a real UDP
+// loopback socket: sender → receiver on 127.0.0.1, mode-0 datagrams, the
+// receiver draining and counting deliveries. The headline metric is msgs/s
+// on the send side; delivered/s is reported for cross-checking (UDP may
+// shed load under overrun, which does not gate the benchmark).
+func BenchmarkLiveLoopback(b *testing.B) {
+	var delivered atomic.Uint64
+	recv, err := NewReceiver(ReceiverConfig{
+		Listen: "127.0.0.1:0",
+		OnMessage: func(m Message) {
+			delivered.Add(1)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer recv.Close()
+
+	sender, err := NewSender(recv.Addr(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sender.Close()
+
+	payload := make([]byte, benchPayloadLen)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.SetBytes(benchPayloadLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sender.Send(payload, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+	b.ReportMetric(float64(delivered.Load())/b.Elapsed().Seconds(), "delivered/s")
+}

@@ -126,6 +126,28 @@ func (rig *chaosRig) driveUntilDelivered(want int, timeout time.Duration) {
 		rig.recv.Stats(), rig.snd.Stats(), rig.relay.Stats(), rig.plan.Counters())
 }
 
+// settle drives flush traffic until every packet the relay has sequenced
+// has been received (distinct receptions == the relay's upgraded count) and
+// no gaps are outstanding. Required before a Crash in tests that assert
+// zero permanent loss: a packet the relay sequenced moments ago but burst
+// loss dropped on egress leaves no observable gap until later traffic
+// arrives, and crashing in that window strands it unrecoverable — a test
+// race, not a transport bug.
+func (rig *chaosRig) settle(timeout time.Duration) {
+	rig.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		up := rig.relay.Stats().Upgraded
+		st := rig.recv.Stats()
+		if st.Received-st.Duplicates == up && rig.recv.OutstandingGaps() == 0 {
+			return
+		}
+		rig.snd.Send([]byte("flush"), 0)
+		time.Sleep(2 * time.Millisecond)
+	}
+	rig.t.Fatalf("timed out settling: recv %+v relay %+v", rig.recv.Stats(), rig.relay.Stats())
+}
+
 // TestLiveChaosRelayRestartUnderBurstLoss is the acceptance scenario on the
 // live substrate, mirroring the simulator test seed for seed: 10% Gilbert
 // burst loss on the relay's egress, a relay crash/restart between two
@@ -145,6 +167,7 @@ func TestLiveChaosRelayRestartUnderBurstLoss(t *testing.T) {
 
 	rig.sendTracked("p1", 150)
 	rig.driveUntilDelivered(150, 10*time.Second)
+	rig.settle(5 * time.Second)
 
 	rig.relay.Crash()
 	if !rig.relay.Down() || rig.relay.BufferedBytes() != 0 {
@@ -182,6 +205,83 @@ func TestLiveChaosRelayRestartUnderBurstLoss(t *testing.T) {
 	}
 	if c.Get(telemetry.CounterRecovered) != st.Recovered {
 		t.Fatalf("counter %d != stats %d", c.Get(telemetry.CounterRecovered), st.Recovered)
+	}
+}
+
+// identityPayload builds a tracked payload whose tail is index-derived
+// pseudo-random filler: if pool aliasing ever corrupts a retransmitted
+// buffer, the result cannot collide with another valid payload by accident.
+func identityPayload(phase string, i int) []byte {
+	b := []byte(fmt.Sprintf("msg-%s-%04d|", phase, i))
+	x := uint64(i)*2654435761 + 1
+	for k := 0; k < 64; k++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		b = append(b, 'a'+byte((x>>33)%26))
+	}
+	return b
+}
+
+// TestLiveChaosByteIdentityAcrossPooledStash is the pool-aliasing guard on
+// the live substrate, with the same seeds as the restart scenario: burst
+// loss forces retransmissions out of the relay's pooled stash, and the
+// crash between phases releases every stash buffer back to the pool, so
+// phase 2 is served entirely from recycled memory. Every delivered payload
+// must match its sent bytes exactly, exactly once — an unknown payload
+// means a buffer was corrupted after the stash took ownership of it.
+func TestLiveChaosByteIdentityAcrossPooledStash(t *testing.T) {
+	rig := newChaosRig(t,
+		faults.Spec{Seed: 11, BurstLoss: 0.10, MeanBurstLen: 3},
+		ReceiverConfig{
+			NAKDelay:    time.Millisecond,
+			NAKRetry:    5 * time.Millisecond,
+			NAKRetryMax: 50 * time.Millisecond,
+			MaxNAKs:     30,
+			Seed:        1,
+		})
+
+	want := make(map[string]bool)
+	send := func(phase string, n int) {
+		for i := 0; i < n; i++ {
+			pl := identityPayload(phase, i)
+			want[string(pl)] = true
+			if err := rig.snd.Send(pl, 0); err != nil {
+				t.Fatal(err)
+			}
+			if i%20 == 19 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+
+	send("p1", 150)
+	rig.driveUntilDelivered(150, 10*time.Second)
+	rig.settle(5 * time.Second)
+
+	rig.relay.Crash() // releases every stash buffer back to the pool
+	if err := rig.relay.Restart(); err != nil {
+		t.Fatal(err)
+	}
+
+	send("p2", 150)
+	rig.driveUntilDelivered(300, 10*time.Second)
+
+	rig.mu.Lock()
+	defer rig.mu.Unlock()
+	for pl, n := range rig.payloads {
+		if !want[pl] {
+			t.Errorf("delivered payload %q was never sent (bytes corrupted in the pooled path)", pl)
+		}
+		if n != 1 {
+			t.Errorf("payload %q delivered %d times", pl, n)
+		}
+	}
+	for pl := range want {
+		if rig.payloads[pl] == 0 {
+			t.Errorf("payload %q never delivered", pl)
+		}
+	}
+	if st := rig.recv.Stats(); st.Recovered == 0 {
+		t.Fatalf("no recoveries — the pooled stash was never exercised: %+v", st)
 	}
 }
 

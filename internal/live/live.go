@@ -77,6 +77,19 @@ type SenderConfig struct {
 	// RedialBackoff is the initial delay between reconnect attempts,
 	// doubling each retry; zero means 5 ms.
 	RedialBackoff time.Duration
+	// BatchSize, when > 1, batches socket writes: Send encodes into a
+	// small ring of per-connection buffers and returns immediately; the
+	// ring is flushed — one lock acquisition and one write-deadline check
+	// for the whole batch — when BatchSize packets are pending or
+	// FlushInterval elapses. Batched sends are fire-and-forget: write
+	// errors are counted in Stats and the socket is redialled on the next
+	// flush, but individual messages in a failed flush are not resent
+	// (loss recovery is the protocol's job, via NAKs). Zero or 1 keeps
+	// the synchronous per-send path with its redial loop.
+	BatchSize int
+	// FlushInterval bounds how long a batched packet may wait in the ring
+	// before being flushed; zero means 500 µs. Ignored unless BatchSize > 1.
+	FlushInterval time.Duration
 	// Wrap, when non-nil, decorates the socket (fault middleware).
 	Wrap func(UDPConn) UDPConn
 	// Counters, when non-nil, records reconnects for observability.
@@ -92,6 +105,9 @@ func (c SenderConfig) withDefaults() SenderConfig {
 	}
 	if c.RedialBackoff == 0 {
 		c.RedialBackoff = 5 * time.Millisecond
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 500 * time.Microsecond
 	}
 	return c
 }
@@ -113,6 +129,19 @@ type Sender struct {
 	mu    sync.Mutex
 	conn  UDPConn
 	stats SenderStats
+	// pkt is the per-connection encode buffer reused by every unary Send;
+	// growth persists, so steady-state sends allocate nothing.
+	pkt []byte
+	// deadlineArmed is when the socket write deadline was last set; the
+	// deadline is only re-armed after SendTimeout/4 so the per-send
+	// deadline syscall cost is amortized across many writes.
+	deadlineArmed time.Time
+
+	// Batch-mode state: a ring of encoded packets awaiting one flush.
+	batch  [][]byte
+	batchN int
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // NewSender dials the relay (or receiver) at dst.
@@ -127,9 +156,17 @@ func NewSenderWithConfig(cfg SenderConfig) (*Sender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: resolve %q: %w", cfg.Dst, err)
 	}
-	s := &Sender{cfg: cfg, raddr: raddr}
+	s := &Sender{cfg: cfg, raddr: raddr, pkt: make([]byte, 0, 2048)}
 	if err := s.dial(); err != nil {
 		return nil, err
+	}
+	if cfg.BatchSize > 1 {
+		s.batch = make([][]byte, cfg.BatchSize)
+		for i := range s.batch {
+			s.batch[i] = make([]byte, 0, 2048)
+		}
+		s.wg.Add(1)
+		go s.flushLoop()
 	}
 	return s, nil
 }
@@ -146,23 +183,45 @@ func (s *Sender) dial() error {
 		c = s.cfg.Wrap(c)
 	}
 	s.conn = c
+	s.deadlineArmed = time.Time{} // fresh socket: next write re-arms
 	return nil
 }
 
-// Send emits one message for the given instrument slice, retrying through
-// reconnects when the relay is down. It returns the last error once the
-// redial budget is exhausted.
-func (s *Sender) Send(msg []byte, slice uint8) error {
+// encodeInto appends the mode-0 packet for msg to dst, reusing its capacity.
+func (s *Sender) encodeInto(dst, msg []byte, slice uint8) ([]byte, error) {
 	h := wire.Header{
 		ConfigID:   0,
 		Experiment: wire.NewExperimentID(s.cfg.Experiment, slice),
 	}
-	pkt, err := h.AppendTo(make([]byte, 0, wire.CoreHeaderLen+len(msg)))
+	pkt, err := h.AppendTo(dst)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	pkt = append(pkt, msg...)
+	return append(pkt, msg...), nil
+}
 
+// armDeadlineLocked refreshes the socket write deadline only once a quarter
+// of the send budget has elapsed since the last refresh. Every write still
+// sees at least ¾·SendTimeout of margin, and the steady-state fast path
+// skips the per-send deadline update, which costs a substantial fraction of
+// the write itself on loopback.
+func (s *Sender) armDeadlineLocked() {
+	t := time.Now()
+	if !s.deadlineArmed.IsZero() && t.Sub(s.deadlineArmed) < s.cfg.SendTimeout/4 {
+		return
+	}
+	s.conn.SetWriteDeadline(t.Add(s.cfg.SendTimeout))
+	s.deadlineArmed = t
+}
+
+// Send emits one message for the given instrument slice, retrying through
+// reconnects when the relay is down. It returns the last error once the
+// redial budget is exhausted. With BatchSize > 1 the message is instead
+// queued for the next batch flush (see SenderConfig.BatchSize).
+func (s *Sender) Send(msg []byte, slice uint8) error {
+	if s.cfg.BatchSize > 1 {
+		return s.sendBatched(msg, slice)
+	}
 	backoff := s.cfg.RedialBackoff
 	var lastErr error
 	for attempt := 0; attempt <= s.cfg.Redials; attempt++ {
@@ -171,6 +230,10 @@ func (s *Sender) Send(msg []byte, slice uint8) error {
 			backoff *= 2
 		}
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return fmt.Errorf("live: sender closed")
+		}
 		if s.conn == nil {
 			if err := s.dial(); err != nil {
 				lastErr = err
@@ -180,8 +243,17 @@ func (s *Sender) Send(msg []byte, slice uint8) error {
 			s.stats.Reconnects++
 			s.cfg.Counters.Inc(telemetry.CounterReconnect)
 		}
-		s.conn.SetWriteDeadline(time.Now().Add(s.cfg.SendTimeout))
-		_, err := s.conn.Write(pkt)
+		// Encode under the lock into the connection's reusable buffer
+		// (the header is ~50 ns to write; re-encoding per attempt is
+		// cheaper than giving every attempt its own allocation).
+		pkt, err := s.encodeInto(s.pkt[:0], msg, slice)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.pkt = pkt[:0] // keep any growth for subsequent sends
+		s.armDeadlineLocked()
+		_, err = s.conn.Write(pkt)
 		if err == nil {
 			s.stats.Sent++
 			s.mu.Unlock()
@@ -197,6 +269,72 @@ func (s *Sender) Send(msg []byte, slice uint8) error {
 		s.mu.Unlock()
 	}
 	return fmt.Errorf("live: send: %w", lastErr)
+}
+
+// sendBatched queues one encoded message in the ring, flushing inline when
+// the ring fills. The returned error is from the flush, if one ran.
+func (s *Sender) sendBatched(msg []byte, slice uint8) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("live: sender closed")
+	}
+	enc, err := s.encodeInto(s.batch[s.batchN][:0], msg, slice)
+	if err != nil {
+		return err
+	}
+	s.batch[s.batchN] = enc
+	s.batchN++
+	if s.batchN >= len(s.batch) {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// flushLocked writes every queued packet with one deadline check. On a
+// write error the socket is dropped (redialled by the next flush) and the
+// remaining packets of this batch are counted as send errors.
+func (s *Sender) flushLocked() error {
+	n := s.batchN
+	if n == 0 {
+		return nil
+	}
+	s.batchN = 0
+	if s.conn == nil {
+		if err := s.dial(); err != nil {
+			s.stats.SendErrors += uint64(n)
+			return err
+		}
+		s.stats.Reconnects++
+		s.cfg.Counters.Inc(telemetry.CounterReconnect)
+	}
+	s.armDeadlineLocked()
+	for i := 0; i < n; i++ {
+		if _, err := s.conn.Write(s.batch[i]); err != nil {
+			s.stats.SendErrors += uint64(n - i)
+			s.conn.Close()
+			s.conn = nil
+			return fmt.Errorf("live: batched send: %w", err)
+		}
+		s.stats.Sent++
+	}
+	return nil
+}
+
+// flushLoop drains partially filled batches on the flush interval.
+func (s *Sender) flushLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.FlushInterval)
+	defer tick.Stop()
+	for range tick.C {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.flushLocked()
+		s.mu.Unlock()
+	}
 }
 
 // Sent returns the number of messages emitted.
@@ -223,15 +361,22 @@ func (s *Sender) LocalAddr() string {
 	return s.conn.LocalAddr().String()
 }
 
-// Close releases the socket.
+// Close flushes any queued batch and releases the socket.
 func (s *Sender) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.conn == nil {
+	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
-	err := s.conn.Close()
-	s.conn = nil
+	s.closed = true
+	s.flushLocked()
+	var err error
+	if s.conn != nil {
+		err = s.conn.Close()
+		s.conn = nil
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
 	return err
 }
 
@@ -286,7 +431,8 @@ type Relay struct {
 	store  map[relayKey][]byte
 	order  []relayKey
 	bytes  int
-	down   bool // crashed, awaiting Restart
+	nak    wire.NAK // scratch decode target for handleControl
+	down   bool     // crashed, awaiting Restart
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -389,6 +535,9 @@ func (r *Relay) Crash() {
 	}
 	r.down = true
 	r.stats.Crashes++
+	for _, pkt := range r.store {
+		wire.ReleaseBuffer(pkt)
+	}
 	r.store = make(map[relayKey][]byte)
 	r.order = nil
 	r.bytes = 0
@@ -457,8 +606,10 @@ func (r *Relay) loop(conn UDPConn) {
 			}
 			continue
 		}
-		pkt := append([]byte(nil), buf[:n]...)
-		r.handle(conn, pkt)
+		// handle is synchronous and copies anything it retains (the stash
+		// reshapes into its own pooled buffer), so the read buffer is
+		// handed over directly and reused for the next datagram.
+		r.handle(conn, buf[:n])
 	}
 }
 
@@ -479,7 +630,12 @@ func (r *Relay) handle(conn UDPConn, pkt []byte) {
 		r.stats.Forwarded++
 		return
 	}
-	up, err := v.Reshape(1, wire.FeatSequenced|wire.FeatReliable|wire.FeatAgeTracked|wire.FeatTimely|wire.FeatTimestamped)
+	// Reshape directly into a pooled buffer sized for the upgraded packet;
+	// the buffer doubles as the stash entry (released on evict or crash),
+	// so the upgrade path performs no steady-state allocation.
+	upFeats := wire.FeatSequenced | wire.FeatReliable | wire.FeatAgeTracked | wire.FeatTimely | wire.FeatTimestamped
+	extLen, _ := upFeats.ExtLen()
+	up, err := v.ReshapeInto(wire.GetBuffer(len(pkt)+extLen), 1, upFeats)
 	if err != nil {
 		return
 	}
@@ -503,32 +659,35 @@ func (r *Relay) handle(conn UDPConn, pkt []byte) {
 	r.stats.Forwarded++
 }
 
+// stash takes ownership of pkt (a pooled buffer from handle) and retains it
+// for retransmission until capacity eviction or a crash releases it.
 func (r *Relay) stash(exp wire.ExperimentID, seq uint64, pkt []byte) {
-	cp := append([]byte(nil), pkt...)
-	for r.bytes+len(cp) > r.cfg.CapacityBytes && len(r.order) > 0 {
+	for r.bytes+len(pkt) > r.cfg.CapacityBytes && len(r.order) > 0 {
 		k := r.order[0]
 		r.order = r.order[1:]
 		if old, ok := r.store[k]; ok {
 			r.bytes -= len(old)
 			delete(r.store, k)
+			wire.ReleaseBuffer(old)
 		}
 	}
 	k := relayKey{exp, seq}
-	r.store[k] = cp
+	r.store[k] = pkt
 	r.order = append(r.order, k)
-	r.bytes += len(cp)
+	r.bytes += len(pkt)
 }
 
 func (r *Relay) handleControl(conn UDPConn, pkt []byte, v wire.View) {
 	if v.ConfigID() != wire.ConfigNAK {
 		return
 	}
-	nak, err := wire.DecodeNAK(pkt)
-	if err != nil {
-		return
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Decode into the relay's scratch NAK, reusing its Ranges capacity.
+	nak := &r.nak
+	if err := nak.DecodeFrom(pkt); err != nil {
+		return
+	}
 	r.stats.NAKs++
 	dst := toUDPAddr(nak.Requester)
 	for _, rg := range nak.Ranges {

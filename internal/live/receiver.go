@@ -198,8 +198,10 @@ func (r *Receiver) readLoop() {
 			}
 			continue
 		}
-		pkt := append([]byte(nil), buf[:n]...)
-		r.handle(pkt)
+		// handle is synchronous and copies the payload before it escapes
+		// (Message.Payload is owned by the delivery callback), so the read
+		// buffer is handed over directly and reused for the next datagram.
+		r.handle(buf[:n])
 	}
 }
 

@@ -222,12 +222,9 @@ func (p *Port) transmitNext() {
 	serialize := time.Duration(float64(size*8) / p.Cfg.RateBps * float64(time.Second))
 	p.Stats.BusyTime += serialize
 	net := p.Node.Net
-	net.loop.After(serialize, func() {
-		p.Stats.TxFrames++
-		p.Stats.TxBytes += uint64(size)
-		p.deliver(f, size)
-		p.transmitNext()
-	})
+	op := net.getOp(&net.txFree, (*linkOp).runTx)
+	op.port, op.f, op.size = p, f, size
+	net.loop.After(serialize, op.run)
 }
 
 func (p *Port) deliver(f *Frame, size int) {
@@ -289,16 +286,56 @@ func (p *Port) deliver(f *Frame, size int) {
 // propagate delivers f to the peer after delay, counting ingress stats.
 func (p *Port) propagate(f *Frame, size int, delay time.Duration) {
 	net := p.Node.Net
+	op := net.getOp(&net.rxFree, (*linkOp).runRx)
+	op.port, op.f, op.size = p, f, size
+	net.loop.After(delay, op.run)
+}
+
+// linkOp is a pooled per-link packet envelope: it carries a frame through a
+// scheduled link stage (serialization completion or propagation arrival)
+// without allocating a fresh closure per frame. The run closure is bound to
+// the op once, when the op is first heap-allocated; afterwards the op cycles
+// through a per-network free list, so the per-frame transmit and deliver
+// schedules are allocation-free in steady state.
+type linkOp struct {
+	port *Port
+	f    *Frame
+	size int
+	run  func() // == method value of runTx or runRx, built once
+	next *linkOp
+}
+
+// release clears the op's frame references and returns it to its free list
+// before the op's work runs, so re-entrant scheduling (transmitNext inside
+// runTx) can reuse it immediately.
+func (o *linkOp) release(head **linkOp) (p *Port, f *Frame, size int) {
+	p, f, size = o.port, o.f, o.size
+	o.port, o.f = nil, nil
+	o.next = *head
+	*head = o
+	return p, f, size
+}
+
+// runTx fires when a frame finishes serializing out of its egress port.
+func (o *linkOp) runTx() {
+	p, f, size := o.release(&o.port.Node.Net.txFree)
+	p.Stats.TxFrames++
+	p.Stats.TxBytes += uint64(size)
+	p.deliver(f, size)
+	p.transmitNext()
+}
+
+// runRx fires when a frame arrives at the peer after propagation.
+func (o *linkOp) runRx() {
+	p, f, size := o.release(&o.port.Node.Net.rxFree)
 	peer := p.Peer
-	net.loop.After(delay, func() {
-		peer.Stats.RxFrames++
-		peer.Stats.RxBytes += uint64(size)
-		f.Hops++
-		if f.Hops > MaxHops {
-			panic(fmt.Sprintf("netsim: frame exceeded %d hops (routing loop?) at %q", MaxHops, peer.Node.Name))
-		}
-		peer.Node.Handler.HandleFrame(peer, f)
-	})
+	peer.Stats.RxFrames++
+	peer.Stats.RxBytes += uint64(size)
+	f.Hops++
+	if f.Hops > MaxHops {
+		panic(fmt.Sprintf("netsim: frame exceeded %d hops (routing loop?) at %q", MaxHops, peer.Node.Name))
+	}
+	peer.Node.Handler.HandleFrame(peer, f)
 }
 
 // pow1m computes (1-p)^n for small p without importing math.Pow precision
@@ -359,6 +396,24 @@ type Network struct {
 	nodes  map[string]*Node
 	byAddr map[wire.Addr]*Node
 	onDrop []DropObserver
+
+	// txFree and rxFree recycle the per-frame link ops; the loop is
+	// single-threaded, so the lists need no synchronisation.
+	txFree *linkOp
+	rxFree *linkOp
+}
+
+// getOp pops an op from the given free list, or heap-allocates one with its
+// run closure bound (the only allocation; every later cycle reuses it).
+func (n *Network) getOp(head **linkOp, run func(*linkOp)) *linkOp {
+	if op := *head; op != nil {
+		*head = op.next
+		op.next = nil
+		return op
+	}
+	op := &linkOp{}
+	op.run = func() { run(op) }
+	return op
 }
 
 // New creates a network with a deterministic RNG seeded by seed.

@@ -67,6 +67,23 @@ type Mint struct {
 	Data []byte
 }
 
+// Reset reinitialises m for a new packet, truncating (but keeping the
+// backing arrays of) Copies and Mints. A per-element scratch Meta reset
+// before each packet makes the steady-state pipeline invocation
+// allocation-free; the entries themselves are copied out by value before
+// the next Reset, so reuse is safe.
+func (m *Meta) Reset(now sim.Time, ingressPort int, src, dst wire.Addr) {
+	m.Now = now
+	m.IngressPort = ingressPort
+	m.Src, m.Dst = src, dst
+	m.Drop = false
+	m.DropReason = ""
+	m.EgressPort = -1
+	m.NewDst = wire.Addr{}
+	m.Copies = m.Copies[:0]
+	m.Mints = m.Mints[:0]
+}
+
 // Context gives stages access to element state: the clock, register
 // arrays, counters, and egress queue depths (Tofino exposes queue depth to
 // the egress pipeline; the back-pressure program uses it).
@@ -75,14 +92,22 @@ type Context struct {
 	registers  map[string]*RegisterArray
 	counters   map[string]*Counter
 	queueDepth func(port int) int
+	// expCounters memoizes the per-experiment counter pair so the
+	// per-packet ExperimentCounter stage resolves counters by integer key
+	// instead of formatting names (the names are built once per
+	// experiment, on first sight).
+	expCounters map[wire.ExperimentID]expCounterEntry
 }
+
+type expCounterEntry struct{ total, slice *Counter }
 
 // NewContext creates a context; queueDepth may be nil (depths read as 0).
 func NewContext(queueDepth func(port int) int) *Context {
 	return &Context{
-		registers:  make(map[string]*RegisterArray),
-		counters:   make(map[string]*Counter),
-		queueDepth: queueDepth,
+		registers:   make(map[string]*RegisterArray),
+		counters:    make(map[string]*Counter),
+		queueDepth:  queueDepth,
+		expCounters: make(map[wire.ExperimentID]expCounterEntry),
 	}
 }
 

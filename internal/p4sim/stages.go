@@ -525,8 +525,18 @@ func (ExperimentCounter) Name() string { return "experiment-counter" }
 // Process implements Stage.
 func (ExperimentCounter) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
 	exp := pkt.Experiment()
-	ctx.Counter(fmt.Sprintf("exp/%d", exp.Experiment())).Add(len(pkt))
-	ctx.Counter(fmt.Sprintf("exp/%d/slice/%d", exp.Experiment(), exp.Slice())).Add(len(pkt))
+	ent, ok := ctx.expCounters[exp]
+	if !ok {
+		// First packet of this (experiment, slice): build the names once
+		// and memoize the counter pair; every later packet is a map hit.
+		ent = expCounterEntry{
+			total: ctx.Counter(fmt.Sprintf("exp/%d", exp.Experiment())),
+			slice: ctx.Counter(fmt.Sprintf("exp/%d/slice/%d", exp.Experiment(), exp.Slice())),
+		}
+		ctx.expCounters[exp] = ent
+	}
+	ent.total.Add(len(pkt))
+	ent.slice.Add(len(pkt))
 	return nil, nil
 }
 

@@ -24,6 +24,39 @@ type Switch struct {
 	Dropped uint64
 	// PassedThrough counts non-DMTP frames forwarded unprocessed.
 	PassedThrough uint64
+
+	// meta is the per-switch scratch metadata bus, Reset before each
+	// packet. The event loop is single-threaded and the pipeline run is
+	// synchronous, so one scratch Meta per switch suffices even with
+	// several frames in flight through the pipeline latency.
+	meta Meta
+	// jobFree recycles the per-frame pipeline-latency jobs.
+	jobFree *swJob
+}
+
+// swJob carries one frame across the pipeline-latency delay without
+// allocating a closure per frame: the run closure is bound once when the
+// job is first allocated, and the job then cycles through the switch's
+// free list (safe without locks — jobs are created and recycled on the
+// single-threaded event loop).
+type swJob struct {
+	sw      *Switch
+	ingress int
+	f       *netsim.Frame
+	pkt     wire.View
+	run     func()
+	next    *swJob
+}
+
+func (s *Switch) getJob() *swJob {
+	if j := s.jobFree; j != nil {
+		s.jobFree = j.next
+		j.next = nil
+		return j
+	}
+	j := &swJob{sw: s}
+	j.run = j.process
+	return j
 }
 
 // NewSwitch builds a switch whose pipeline runs the given stages followed
@@ -68,65 +101,68 @@ func (s *Switch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 		}
 		return
 	}
-	s.node.Net.Loop().After(s.Latency, func() {
-		meta := &Meta{
-			Now:         s.node.Net.Now(),
-			IngressPort: ingress.Index,
-			Src:         f.Src,
-			Dst:         f.Dst,
-			EgressPort:  -1,
-		}
-		out, _ := s.Pipeline.Run(pkt, meta)
-		// Minted control packets are routed independently of the data
-		// packet's fate.
-		for _, mint := range meta.Mints {
-			if port, ok := s.Fwd.Lookup(mint.Dst); ok {
-				s.node.Port(port).Send(&netsim.Frame{
-					Src:  s.node.Addr,
-					Dst:  mint.Dst,
-					Data: mint.Data,
-					Born: s.node.Net.Now(),
-				})
-			}
-		}
-		for _, cp := range meta.Copies {
-			data := cp.Pkt
-			if data == nil {
-				data = out.Clone()
-			}
-			port := cp.Port
-			if port < 0 {
-				var ok bool
-				if port, ok = s.Fwd.Lookup(cp.Dst); !ok {
-					continue
-				}
-			}
+	job := s.getJob()
+	job.ingress, job.f, job.pkt = ingress.Index, f, pkt
+	s.node.Net.Loop().After(s.Latency, job.run)
+}
+
+// process runs the pipeline for one delayed frame. It recycles the job
+// before doing the work so re-entrant HandleFrame calls (a stage emitting
+// through a port looped back to this switch) can reuse it.
+func (j *swJob) process() {
+	s, ingress, f, pkt := j.sw, j.ingress, j.f, j.pkt
+	j.f, j.pkt = nil, nil
+	j.next = s.jobFree
+	s.jobFree = j
+
+	meta := &s.meta
+	meta.Reset(s.node.Net.Now(), ingress, f.Src, f.Dst)
+	out, _ := s.Pipeline.Run(pkt, meta)
+	// Minted control packets are routed independently of the data
+	// packet's fate.
+	for _, mint := range meta.Mints {
+		if port, ok := s.Fwd.Lookup(mint.Dst); ok {
 			s.node.Port(port).Send(&netsim.Frame{
-				Src:  f.Src,
-				Dst:  cp.Dst,
-				Data: data,
-				Born: f.Born,
-				Hops: f.Hops,
+				Src:  s.node.Addr,
+				Dst:  mint.Dst,
+				Data: mint.Data,
+				Born: s.node.Net.Now(),
 			})
 		}
-		if meta.Drop {
-			s.Dropped++
-			return
+	}
+	for _, cp := range meta.Copies {
+		data := cp.Pkt
+		if data == nil {
+			data = out.Clone()
 		}
-		if meta.EgressPort < 0 {
-			s.Dropped++
-			return
+		port := cp.Port
+		if port < 0 {
+			var ok bool
+			if port, ok = s.Fwd.Lookup(cp.Dst); !ok {
+				continue
+			}
 		}
-		dst := f.Dst
-		if !meta.NewDst.IsZero() {
-			dst = meta.NewDst
-		}
-		s.node.Port(meta.EgressPort).Send(&netsim.Frame{
+		s.node.Port(port).Send(&netsim.Frame{
 			Src:  f.Src,
-			Dst:  dst,
-			Data: out,
+			Dst:  cp.Dst,
+			Data: data,
 			Born: f.Born,
 			Hops: f.Hops,
 		})
+	}
+	if meta.Drop || meta.EgressPort < 0 {
+		s.Dropped++
+		return
+	}
+	dst := f.Dst
+	if !meta.NewDst.IsZero() {
+		dst = meta.NewDst
+	}
+	s.node.Port(meta.EgressPort).Send(&netsim.Frame{
+		Src:  f.Src,
+		Dst:  dst,
+		Data: out,
+		Born: f.Born,
+		Hops: f.Hops,
 	})
 }

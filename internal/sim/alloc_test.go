@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// TestScheduleFireZeroAlloc locks in the pooled event steady state: after
+// warm-up, an After→Step cycle performs no heap allocation. The callback is
+// hoisted so the closure itself is not allocated per cycle (per-packet
+// simulator callers hold their closures in pooled op structs the same way).
+func TestScheduleFireZeroAlloc(t *testing.T) {
+	l := NewLoop()
+	fn := func() {}
+	l.After(1, fn)
+	l.Run() // warm the free list
+	if avg := testing.AllocsPerRun(500, func() {
+		l.After(1, fn)
+		l.Step()
+	}); avg != 0 {
+		t.Fatalf("schedule/fire allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestScheduleStopZeroAlloc locks in the schedule→cancel cycle: Stop
+// recycles the event eagerly, so rescheduling churn (retransmission timers
+// being re-armed per packet) allocates nothing.
+func TestScheduleStopZeroAlloc(t *testing.T) {
+	l := NewLoop()
+	fn := func() {}
+	l.After(1, fn).Stop()
+	if avg := testing.AllocsPerRun(500, func() {
+		tm := l.After(1, fn)
+		if !tm.Stop() {
+			t.Fatal("Stop reported not pending")
+		}
+	}); avg != 0 {
+		t.Fatalf("schedule/stop allocates %.1f allocs/op, want 0", avg)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("pending %d after stop churn", l.Pending())
+	}
+}
+
+// TestStaleTimerHandleIsInert is the use-after-recycle guard: a Timer handle
+// held after its event fired must not cancel an unrelated later event that
+// reuses the same pooled object.
+func TestStaleTimerHandleIsInert(t *testing.T) {
+	l := NewLoop()
+	stale := l.After(1, func() {})
+	l.Run() // fires; the event object goes to the free list
+	fired := false
+	fresh := l.After(1, func() { fired = true })
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if stale.Stop() {
+		t.Fatal("stale Stop reported success")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh timer lost to a stale Stop")
+	}
+	l.Run()
+	if !fired {
+		t.Fatal("recycled event's callback did not fire")
+	}
+}
+
+// TestRecycledCounts sanity-checks the free list actually serves the
+// steady state.
+func TestRecycledCounts(t *testing.T) {
+	l := NewLoop()
+	fn := func() {}
+	for i := 0; i < 100; i++ {
+		l.After(1, fn)
+		l.Step()
+	}
+	if l.Recycled() < 90 {
+		t.Fatalf("recycled only %d of 100 cycles", l.Recycled())
+	}
+}

@@ -1,0 +1,41 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkSimLoop measures the steady-state schedule→fire cycle of the
+// discrete-event loop: every simulated packet transmission and propagation
+// pays this cost twice, so it bounds simulator throughput for E1–E5.
+func BenchmarkSimLoop(b *testing.B) {
+	l := sim.NewLoop()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.After(time.Microsecond, fn)
+		l.Step()
+	}
+}
+
+// BenchmarkSimTimerReschedule measures the schedule→stop cycle: the RTO-style
+// pattern (arm, then cancel and re-arm on progress) the TCP baseline and the
+// DMTP receiver gap timers follow for every packet.
+func BenchmarkSimTimerReschedule(b *testing.B) {
+	l := sim.NewLoop()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := l.After(time.Millisecond, fn)
+		t.Stop()
+		if l.Pending() > 1<<16 {
+			b.StopTimer()
+			l.Run()
+			b.StartTimer()
+		}
+	}
+}

@@ -185,8 +185,8 @@ func TestProcessedAndPending(t *testing.T) {
 	l.After(1, func() {})
 	tm := l.After(2, func() {})
 	tm.Stop()
-	if l.Pending() != 2 {
-		t.Fatalf("pending %d", l.Pending())
+	if l.Pending() != 1 {
+		t.Fatalf("pending %d: Stop must remove the event eagerly", l.Pending())
 	}
 	l.Run()
 	if l.Processed() != 1 {

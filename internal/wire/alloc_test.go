@@ -1,0 +1,154 @@
+package wire_test
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestEncodeZeroAlloc locks in the zero-allocation steady state of the
+// AppendTo encode path: with a reused destination buffer, encoding a
+// WAN-mode header performs no heap allocation.
+func TestEncodeZeroAlloc(t *testing.T) {
+	h := wire.Header{
+		ConfigID:   1,
+		Features:   wire.FeatSequenced | wire.FeatReliable | wire.FeatAgeTracked | wire.FeatTimely | wire.FeatTimestamped,
+		Experiment: wire.NewExperimentID(7, 3),
+	}
+	h.Seq.Seq = 42
+	h.Retransmit.Buffer = wire.Addr{IP: [4]byte{10, 0, 0, 1}, Port: 17580}
+	h.Age.MaxAgeMicros = 5000
+	h.Deadline.DeadlineNanos = 1e9
+	h.Timestamp.OriginNanos = 5e8
+	buf := make([]byte, 0, 256)
+	if avg := testing.AllocsPerRun(200, func() {
+		out, err := h.AppendTo(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	}); avg != 0 {
+		t.Fatalf("encode allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestDecodeZeroAlloc locks in the allocation-free decode path: Header
+// decode via DecodeFromBytes and View field reads allocate nothing.
+func TestDecodeZeroAlloc(t *testing.T) {
+	h := wire.Header{
+		ConfigID:   1,
+		Features:   wire.FeatSequenced | wire.FeatReliable | wire.FeatTimestamped,
+		Experiment: wire.NewExperimentID(7, 3),
+	}
+	h.Seq.Seq = 42
+	pkt, err := h.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt = append(pkt, make([]byte, 512)...)
+	var dec wire.Header
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := dec.DecodeFromBytes(pkt); err != nil {
+			t.Fatal(err)
+		}
+		v := wire.View(pkt)
+		if _, err := v.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Seq(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("decode allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestControlDecodeFromZeroAlloc verifies the DecodeFrom control decoders
+// are allocation-free once the struct's slices have warmed capacity.
+func TestControlDecodeFromZeroAlloc(t *testing.T) {
+	nak := wire.NAK{
+		Experiment: wire.NewExperimentID(7, 0),
+		Requester:  wire.Addr{IP: [4]byte{127, 0, 0, 1}, Port: 9000},
+		Ranges:     []wire.SeqRange{{From: 3, To: 5}, {From: 9, To: 9}},
+	}
+	pkt, err := nak.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec wire.NAK
+	if err := dec.DecodeFrom(pkt); err != nil {
+		t.Fatal(err) // warm Ranges capacity
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := dec.DecodeFrom(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("NAK DecodeFrom allocates %.1f allocs/op, want 0", avg)
+	}
+	if len(dec.Ranges) != 2 || dec.Ranges[0] != (wire.SeqRange{From: 3, To: 5}) {
+		t.Fatalf("bad decode: %+v", dec.Ranges)
+	}
+}
+
+// TestReshapeIntoZeroAlloc verifies the pooled mode-change path: reshaping
+// into a destination of sufficient capacity allocates nothing.
+func TestReshapeIntoZeroAlloc(t *testing.T) {
+	h := wire.Header{ConfigID: 0, Experiment: wire.NewExperimentID(7, 1)}
+	pkt, err := h.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt = append(pkt, make([]byte, 1024)...)
+	want := wire.FeatSequenced | wire.FeatReliable | wire.FeatAgeTracked | wire.FeatTimely | wire.FeatTimestamped
+	dst := make([]byte, 0, 2048)
+	if avg := testing.AllocsPerRun(200, func() {
+		out, err := wire.View(pkt).ReshapeInto(dst, 1, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) == 0 {
+			t.Fatal("empty reshape")
+		}
+	}); avg != 0 {
+		t.Fatalf("ReshapeInto allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestReshapeIntoZeroesRecycledExtensions is the pool-aliasing guard for
+// mode changes: a recycled destination buffer full of stale bytes must not
+// leak them into newly activated extension fields.
+func TestReshapeIntoZeroesRecycledExtensions(t *testing.T) {
+	h := wire.Header{ConfigID: 0, Experiment: wire.NewExperimentID(9, 0)}
+	pkt, err := h.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0xAA, 0xBB}
+	pkt = append(pkt, payload...)
+	dirty := make([]byte, 2048)
+	for i := range dirty {
+		dirty[i] = 0xFF
+	}
+	out, err := wire.View(pkt).ReshapeInto(dirty, 1, wire.FeatSequenced|wire.FeatAgeTracked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := out.Seq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 0 {
+		t.Fatalf("newly activated Seq = %d, want 0 (stale bytes leaked)", seq)
+	}
+	age, err := out.Age()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age.AgeMicros != 0 || age.MaxAgeMicros != 0 || age.Flags != 0 {
+		t.Fatalf("newly activated Age = %+v, want zero", age)
+	}
+	if string(out.Payload()) != string(payload) {
+		t.Fatalf("payload corrupted: %x", out.Payload())
+	}
+}

@@ -69,35 +69,48 @@ func (n *NAK) AppendTo(b []byte) ([]byte, error) {
 
 // DecodeNAK parses a NAK packet (starting at the DMTP core header).
 func DecodeNAK(b []byte) (*NAK, error) {
+	n := &NAK{}
+	if err := n.DecodeFrom(b); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// DecodeFrom parses a NAK packet into n, reusing n.Ranges' capacity — the
+// zero-allocation decode path for a relay's steady-state NAK service. b is
+// not retained.
+func (n *NAK) DecodeFrom(b []byte) error {
 	var h Header
 	hn, err := h.DecodeFromBytes(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if h.ConfigID != ConfigNAK {
-		return nil, fmt.Errorf("%w: config ID %#02x is not a NAK", ErrNotDMTP, h.ConfigID)
+		return fmt.Errorf("%w: config ID %#02x is not a NAK", ErrNotDMTP, h.ConfigID)
 	}
 	body := b[hn:]
 	if len(body) < nakBodyFixed {
-		return nil, fmt.Errorf("%w: NAK body %d bytes", ErrTruncated, len(body))
-	}
-	n := &NAK{
-		Experiment: h.Experiment,
-		Requester:  addrFromBytes(body[0:6]),
+		return fmt.Errorf("%w: NAK body %d bytes", ErrTruncated, len(body))
 	}
 	count := int(be.Uint16(body[8:10]))
-	body = body[nakBodyFixed:]
-	if len(body) < count*16 {
-		return nil, fmt.Errorf("%w: NAK ranges need %d bytes, have %d", ErrTruncated, count*16, len(body))
+	if len(body)-nakBodyFixed < count*16 {
+		return fmt.Errorf("%w: NAK ranges need %d bytes, have %d", ErrTruncated, count*16, len(body)-nakBodyFixed)
 	}
-	n.Ranges = make([]SeqRange, count)
+	n.Experiment = h.Experiment
+	n.Requester = addrFromBytes(body[0:6])
+	body = body[nakBodyFixed:]
+	if cap(n.Ranges) >= count {
+		n.Ranges = n.Ranges[:count]
+	} else {
+		n.Ranges = make([]SeqRange, count)
+	}
 	for i := range n.Ranges {
 		n.Ranges[i] = SeqRange{
 			From: be.Uint64(body[i*16 : i*16+8]),
 			To:   be.Uint64(body[i*16+8 : i*16+16]),
 		}
 	}
-	return n, nil
+	return nil
 }
 
 // DeadlineExceeded notifies the configured sink that a packet missed its
@@ -129,25 +142,34 @@ func (d *DeadlineExceeded) AppendTo(b []byte) ([]byte, error) {
 
 // DecodeDeadlineExceeded parses a deadline-exceeded notification packet.
 func DecodeDeadlineExceeded(b []byte) (*DeadlineExceeded, error) {
+	d := &DeadlineExceeded{}
+	if err := d.DecodeFrom(b); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// DecodeFrom parses a deadline-exceeded notification into d, the
+// allocation-free counterpart of DecodeDeadlineExceeded. b is not retained.
+func (d *DeadlineExceeded) DecodeFrom(b []byte) error {
 	var h Header
 	hn, err := h.DecodeFromBytes(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if h.ConfigID != ConfigDeadlineExceeded {
-		return nil, fmt.Errorf("%w: config ID %#02x is not deadline-exceeded", ErrNotDMTP, h.ConfigID)
+		return fmt.Errorf("%w: config ID %#02x is not deadline-exceeded", ErrNotDMTP, h.ConfigID)
 	}
 	body := b[hn:]
 	if len(body) < deadlineBodyLen {
-		return nil, fmt.Errorf("%w: deadline body %d bytes", ErrTruncated, len(body))
+		return fmt.Errorf("%w: deadline body %d bytes", ErrTruncated, len(body))
 	}
-	return &DeadlineExceeded{
-		Experiment:    h.Experiment,
-		Seq:           be.Uint64(body[0:8]),
-		DeadlineNanos: be.Uint64(body[8:16]),
-		ObservedNanos: be.Uint64(body[16:24]),
-		Reporter:      addrFromBytes(body[24:30]),
-	}, nil
+	d.Experiment = h.Experiment
+	d.Seq = be.Uint64(body[0:8])
+	d.DeadlineNanos = be.Uint64(body[8:16])
+	d.ObservedNanos = be.Uint64(body[16:24])
+	d.Reporter = addrFromBytes(body[24:30])
+	return nil
 }
 
 // BackPressureSignal is relayed toward the sender when an on-path element
@@ -180,24 +202,33 @@ func (s *BackPressureSignal) AppendTo(b []byte) ([]byte, error) {
 
 // DecodeBackPressure parses a back-pressure signal packet.
 func DecodeBackPressure(b []byte) (*BackPressureSignal, error) {
+	s := &BackPressureSignal{}
+	if err := s.DecodeFrom(b); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeFrom parses a back-pressure signal into s, the allocation-free
+// counterpart of DecodeBackPressure. b is not retained.
+func (s *BackPressureSignal) DecodeFrom(b []byte) error {
 	var h Header
 	hn, err := h.DecodeFromBytes(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if h.ConfigID != ConfigBackPressure {
-		return nil, fmt.Errorf("%w: config ID %#02x is not back-pressure", ErrNotDMTP, h.ConfigID)
+		return fmt.Errorf("%w: config ID %#02x is not back-pressure", ErrNotDMTP, h.ConfigID)
 	}
 	body := b[hn:]
 	if len(body) < backPressureBodyLen {
-		return nil, fmt.Errorf("%w: back-pressure body %d bytes", ErrTruncated, len(body))
+		return fmt.Errorf("%w: back-pressure body %d bytes", ErrTruncated, len(body))
 	}
-	return &BackPressureSignal{
-		Experiment:   h.Experiment,
-		Level:        body[0],
-		RateHintMbps: be.Uint32(body[4:8]),
-		Reporter:     addrFromBytes(body[8:14]),
-	}, nil
+	s.Experiment = h.Experiment
+	s.Level = body[0]
+	s.RateHintMbps = be.Uint32(body[4:8])
+	s.Reporter = addrFromBytes(body[8:14])
+	return nil
 }
 
 // Ack is an optional positive acknowledgement carrying the highest
@@ -228,23 +259,32 @@ func (a *Ack) AppendTo(b []byte) ([]byte, error) {
 
 // DecodeAck parses an ACK packet.
 func DecodeAck(b []byte) (*Ack, error) {
+	a := &Ack{}
+	if err := a.DecodeFrom(b); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// DecodeFrom parses an ACK packet into a, the allocation-free counterpart
+// of DecodeAck. b is not retained.
+func (a *Ack) DecodeFrom(b []byte) error {
 	var h Header
 	hn, err := h.DecodeFromBytes(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if h.ConfigID != ConfigAck {
-		return nil, fmt.Errorf("%w: config ID %#02x is not an ACK", ErrNotDMTP, h.ConfigID)
+		return fmt.Errorf("%w: config ID %#02x is not an ACK", ErrNotDMTP, h.ConfigID)
 	}
 	body := b[hn:]
 	if len(body) < ackBodyLen {
-		return nil, fmt.Errorf("%w: ACK body %d bytes", ErrTruncated, len(body))
+		return fmt.Errorf("%w: ACK body %d bytes", ErrTruncated, len(body))
 	}
-	return &Ack{
-		Experiment:    h.Experiment,
-		CumulativeSeq: be.Uint64(body[0:8]),
-		Acker:         addrFromBytes(body[8:14]),
-	}, nil
+	a.Experiment = h.Experiment
+	a.CumulativeSeq = be.Uint64(body[0:8])
+	a.Acker = addrFromBytes(body[8:14])
+	return nil
 }
 
 // Resource kinds carried in advertisements; they mirror core.ResourceKind
@@ -300,24 +340,33 @@ func (a *ResourceAdvert) AppendTo(b []byte) ([]byte, error) {
 
 // DecodeResourceAdvert parses an advertisement packet.
 func DecodeResourceAdvert(b []byte) (*ResourceAdvert, error) {
+	a := &ResourceAdvert{}
+	if err := a.DecodeFrom(b); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// DecodeFrom parses an advertisement packet into a, the allocation-free
+// counterpart of DecodeResourceAdvert. b is not retained.
+func (a *ResourceAdvert) DecodeFrom(b []byte) error {
 	var h Header
 	hn, err := h.DecodeFromBytes(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if h.ConfigID != ConfigResourceAdvert {
-		return nil, fmt.Errorf("%w: config ID %#02x is not a resource advert", ErrNotDMTP, h.ConfigID)
+		return fmt.Errorf("%w: config ID %#02x is not a resource advert", ErrNotDMTP, h.ConfigID)
 	}
 	body := b[hn:]
 	if len(body) < advertBodyLen {
-		return nil, fmt.Errorf("%w: advert body %d bytes", ErrTruncated, len(body))
+		return fmt.Errorf("%w: advert body %d bytes", ErrTruncated, len(body))
 	}
-	return &ResourceAdvert{
-		Origin:        addrFromBytes(body[0:6]),
-		Kind:          body[6],
-		Segment:       body[7],
-		CapacityBytes: be.Uint64(body[8:16]),
-		SeqNo:         be.Uint32(body[16:20]),
-		TTL:           body[20],
-	}, nil
+	a.Origin = addrFromBytes(body[0:6])
+	a.Kind = body[6]
+	a.Segment = body[7]
+	a.CapacityBytes = be.Uint64(body[8:16])
+	a.SeqNo = be.Uint32(body[16:20])
+	a.TTL = body[20]
+	return nil
 }

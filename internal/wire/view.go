@@ -295,6 +295,15 @@ func (v View) Reshape(newConfigID uint8, want Features) (View, error) {
 }
 
 func (v View) reshape(newConfigID uint8, want Features) (View, error) {
+	return v.ReshapeInto(nil, newConfigID, want)
+}
+
+// ReshapeInto is Reshape writing into dst's storage: dst is truncated and
+// grown (reusing its capacity where possible) to hold the reshaped packet.
+// It is the zero-allocation mode-change path — with a dst of sufficient
+// capacity, e.g. from a BufferPool, no heap allocation occurs. dst must not
+// alias v.
+func (v View) ReshapeInto(dst []byte, newConfigID uint8, want Features) (View, error) {
 	if v.IsControl() {
 		return nil, ErrControlPacket
 	}
@@ -310,12 +319,20 @@ func (v View) reshape(newConfigID uint8, want Features) (View, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(View, CoreHeaderLen+wantExtLen+len(v)-oldLen)
+	outLen := CoreHeaderLen + wantExtLen + len(v) - oldLen
+	var out View
+	if cap(dst) >= outLen {
+		out = View(dst[:outLen])
+	} else {
+		out = make(View, outLen)
+	}
 	copy(out[:4], v[:4]) // config id + bits, patched below
 	copy(out[4:8], v[4:8])
 	out.SetConfigID(newConfigID)
 	out.setFeatures(want)
-	// Copy surviving extension values field by field.
+	// Zero the extension area, then copy surviving values field by field
+	// (newly activated fields must read as zero even in a recycled buffer).
+	clear(out[CoreHeaderLen : CoreHeaderLen+wantExtLen])
 	for i := 0; i < featureCount; i++ {
 		bit := Features(1) << i
 		if want&bit == 0 || have&bit == 0 {
@@ -334,6 +351,19 @@ func (v View) reshape(newConfigID uint8, want Features) (View, error) {
 // duplication.
 func (v View) Clone() View {
 	out := make(View, len(v))
+	copy(out, v)
+	return out
+}
+
+// CloneInto copies the packet into dst's storage (reusing its capacity
+// where possible), the pooled-buffer counterpart of Clone.
+func (v View) CloneInto(dst []byte) View {
+	var out View
+	if cap(dst) >= len(v) {
+		out = View(dst[:len(v)])
+	} else {
+		out = make(View, len(v))
+	}
 	copy(out, v)
 	return out
 }
