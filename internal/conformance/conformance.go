@@ -1,0 +1,141 @@
+// Package conformance is the differential test harness for the two DMTP
+// substrates. One scenario — a message schedule, a scripted egress-loss
+// plan from internal/faults, and an optional buffer-node crash/restart —
+// is executed twice: once on the simulator pipeline
+// (core.Sender → core.BufferNode → core.Receiver over netsim links) and
+// once on the live pipeline (live.Sender → live.Relay → live.Receiver
+// over real loopback sockets, with protocol time driven by a shared
+// dmtp.FakeClock). Both runs produce a Transcript — delivery order, every
+// NAK's ranges, every permanent-loss write-off, and the receiver's final
+// counters — and Diff reports any divergence as data.
+//
+// The suite works because both adapters are thin shells around the same
+// dmtp engines: gap detection, NAK backoff jitter (seeded), write-off
+// decisions and stash service are substrate-independent, so identical
+// inputs must yield identical transcripts. A deliberately biased engine
+// (dmtp.GapFloorBias) must therefore make the comparator fail — the
+// suite's self-test.
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Scenario is one substrate-independent conformance run: the message
+// schedule, the fault plan, and the shared NAK tuning.
+type Scenario struct {
+	// Messages is the number of DAQ messages, sent Interval apart in
+	// virtual time starting at t = Interval.
+	Messages int
+	// Interval is the virtual spacing between sends.
+	Interval time.Duration
+	// Experiment is the 24-bit experiment number (slice 0).
+	Experiment uint32
+	// DropEgress lists 1-based egress data-packet indices (forwards and
+	// retransmissions, in send order) dropped on the buffer→receiver leg
+	// — faults.Spec.DropPackets on both substrates.
+	DropEgress []uint64
+	// CrashAt, when nonzero, crash+restarts the buffer node at this
+	// virtual instant, colding its retransmission stash.
+	CrashAt time.Duration
+
+	// NAK tuning, applied identically to both receivers.
+	NAKDelay    time.Duration
+	NAKRetry    time.Duration
+	NAKRetryMax time.Duration
+	MaxNAKs     int
+	// Seed drives the NAK retry jitter in both engines.
+	Seed int64
+	// FaultSeed seeds the fault plan (unused by scripted drops, but part
+	// of the plan identity).
+	FaultSeed int64
+}
+
+// Delivery is one delivered message, as the transcript records it.
+type Delivery struct {
+	Seq       uint64
+	Recovered bool
+}
+
+// Totals are the receiver counters both substrates must agree on.
+type Totals struct {
+	Received   uint64
+	Delivered  uint64
+	Duplicates uint64
+	NAKsSent   uint64
+	Recovered  uint64
+	Lost       uint64
+}
+
+// Transcript is everything observable about one substrate's run: the
+// exact delivery order, each NAK's requested ranges (in emission order),
+// each sequence number written off as permanently lost, and the final
+// counters.
+type Transcript struct {
+	Delivered []Delivery
+	NAKs      []string // formatted ranges, one entry per NAK packet
+	Gaps      []uint64 // write-offs, in OnGap order
+	Totals    Totals
+}
+
+// FormatRanges renders NAK ranges canonically for transcript comparison.
+func FormatRanges(rs []wire.SeqRange) string {
+	s := ""
+	for i, r := range rs {
+		if i > 0 {
+			s += ","
+		}
+		if r.From == r.To {
+			s += fmt.Sprintf("%d", r.From)
+		} else {
+			s += fmt.Sprintf("%d-%d", r.From, r.To)
+		}
+	}
+	return s
+}
+
+// Diff compares two transcripts and reports every divergence as a
+// human-readable finding; an empty slice means the substrates conformed.
+func Diff(sim, live *Transcript) []string {
+	var out []string
+	if len(sim.Delivered) != len(live.Delivered) {
+		out = append(out, fmt.Sprintf("delivery count: sim %d, live %d",
+			len(sim.Delivered), len(live.Delivered)))
+	}
+	for i := 0; i < len(sim.Delivered) && i < len(live.Delivered); i++ {
+		if sim.Delivered[i] != live.Delivered[i] {
+			out = append(out, fmt.Sprintf("delivery[%d]: sim %+v, live %+v",
+				i, sim.Delivered[i], live.Delivered[i]))
+		}
+	}
+	if len(sim.NAKs) != len(live.NAKs) {
+		out = append(out, fmt.Sprintf("NAK count: sim %d %v, live %d %v",
+			len(sim.NAKs), sim.NAKs, len(live.NAKs), live.NAKs))
+	}
+	for i := 0; i < len(sim.NAKs) && i < len(live.NAKs); i++ {
+		if sim.NAKs[i] != live.NAKs[i] {
+			out = append(out, fmt.Sprintf("NAK[%d]: sim %q, live %q", i, sim.NAKs[i], live.NAKs[i]))
+		}
+	}
+	if len(sim.Gaps) != len(live.Gaps) {
+		out = append(out, fmt.Sprintf("write-off count: sim %v, live %v", sim.Gaps, live.Gaps))
+	}
+	for i := 0; i < len(sim.Gaps) && i < len(live.Gaps); i++ {
+		if sim.Gaps[i] != live.Gaps[i] {
+			out = append(out, fmt.Sprintf("write-off[%d]: sim %d, live %d", i, sim.Gaps[i], live.Gaps[i]))
+		}
+	}
+	if sim.Totals != live.Totals {
+		out = append(out, fmt.Sprintf("totals: sim %+v, live %+v", sim.Totals, live.Totals))
+	}
+	return out
+}
+
+// payload is the deterministic message body for send index i (1-based),
+// identical on both substrates.
+func payload(i int) []byte {
+	return []byte(fmt.Sprintf("conf-%03d", i))
+}

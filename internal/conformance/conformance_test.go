@@ -1,0 +1,133 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dmtp"
+)
+
+// acceptanceScenario is the canonical differential run: twenty messages
+// at 1 ms virtual spacing, one warm-buffer loss (egress packet 3 = seq 3,
+// recovered via NAK before the crash), a crash+restart at t = 16.5 ms,
+// and one cold-buffer loss (egress packet 16 = seq 15, dropped at
+// t = 15 ms, stash colded before its first NAK at t = 17.5 ms, so the
+// retry cap must write it off as permanent loss).
+func acceptanceScenario() Scenario {
+	return Scenario{
+		Messages:    20,
+		Interval:    time.Millisecond,
+		Experiment:  777,
+		DropEgress:  []uint64{3, 16},
+		CrashAt:     16*time.Millisecond + 500*time.Microsecond,
+		NAKDelay:    1500 * time.Microsecond,
+		NAKRetry:    4 * time.Millisecond,
+		NAKRetryMax: 12 * time.Millisecond,
+		MaxNAKs:     3,
+		Seed:        7,
+		FaultSeed:   7,
+	}
+}
+
+// TestDifferentialSimVsLive is the conformance suite's core assertion:
+// the same seeded scenario — traffic schedule, scripted egress losses,
+// and a mid-stream crash/restart — produces identical delivery order,
+// NAK ranges, write-off decisions and recovery counts on the simulator
+// and live-UDP substrates, because both are thin adapters over the same
+// dmtp engines.
+func TestDifferentialSimVsLive(t *testing.T) {
+	sc := acceptanceScenario()
+	simTr := RunSim(sc)
+	liveTr, err := RunLive(sc)
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	for _, d := range Diff(simTr, liveTr) {
+		t.Errorf("divergence: %s", d)
+	}
+
+	// Sanity-pin the scenario itself (on the sim transcript; the diff
+	// above extends every property to the live one): the warm loss was
+	// recovered, the cold loss was written off after exactly MaxNAKs
+	// requests, and everything else was delivered exactly once.
+	if simTr.Totals.Recovered != 1 || simTr.Totals.Lost != 1 {
+		t.Fatalf("scenario did not exercise both loss paths: %+v", simTr.Totals)
+	}
+	if simTr.Totals.Delivered != uint64(sc.Messages-1) || simTr.Totals.Duplicates != 0 {
+		t.Fatalf("deliveries %+v, want %d distinct", simTr.Totals, sc.Messages-1)
+	}
+	// seq 3: one NAK then recovery; seq 15: MaxNAKs requests then loss.
+	if want := uint64(1 + sc.MaxNAKs); simTr.Totals.NAKsSent != want {
+		t.Fatalf("NAKs sent %d, want %d: %v", simTr.Totals.NAKsSent, want, simTr.NAKs)
+	}
+	if len(simTr.Gaps) != 1 || simTr.Gaps[0] != 15 {
+		t.Fatalf("write-offs %v, want [15]", simTr.Gaps)
+	}
+}
+
+// TestDifferentialDetectsBrokenEngine is the suite's self-test: a
+// deliberately broken engine fork — the gap-detection floor biased by one
+// via dmtp.GapFloorBias, so a single-packet gap right above the floor is
+// never tracked — must make the differential comparator report
+// divergence. A conformance suite that cannot fail is not evidence.
+func TestDifferentialDetectsBrokenEngine(t *testing.T) {
+	sc := Scenario{
+		Messages:    8,
+		Interval:    time.Millisecond,
+		Experiment:  777,
+		DropEgress:  []uint64{3},
+		NAKDelay:    1500 * time.Microsecond,
+		NAKRetry:    4 * time.Millisecond,
+		NAKRetryMax: 12 * time.Millisecond,
+		MaxNAKs:     3,
+		Seed:        7,
+		FaultSeed:   7,
+	}
+	liveTr, err := RunLive(sc)
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+
+	// Re-run the simulator substrate with the off-by-one gap floor.
+	dmtp.GapFloorBias = 1
+	defer func() { dmtp.GapFloorBias = 0 }()
+	brokenTr := RunSim(sc)
+
+	diff := Diff(brokenTr, liveTr)
+	if len(diff) == 0 {
+		t.Fatal("comparator passed a biased gap floor; the differential test cannot detect broken engines")
+	}
+	// The specific failure mode: the biased engine never detects the gap,
+	// so it neither NAKs nor recovers seq 3.
+	if brokenTr.Totals.NAKsSent != 0 || brokenTr.Totals.Recovered != 0 {
+		t.Fatalf("bias did not disable gap detection: %+v", brokenTr.Totals)
+	}
+	if liveTr.Totals.Recovered != 1 {
+		t.Fatalf("healthy engine did not recover the drop: %+v", liveTr.Totals)
+	}
+}
+
+// TestDiffReportsEachDivergenceKind pins the comparator's coverage: a
+// transcript differing in delivery order, NAK ranges, write-offs and
+// totals yields one finding per dimension.
+func TestDiffReportsEachDivergenceKind(t *testing.T) {
+	a := &Transcript{
+		Delivered: []Delivery{{Seq: 1}, {Seq: 2}},
+		NAKs:      []string{"2"},
+		Gaps:      []uint64{5},
+		Totals:    Totals{Delivered: 2},
+	}
+	b := &Transcript{
+		Delivered: []Delivery{{Seq: 2}, {Seq: 1}},
+		NAKs:      []string{"2-3"},
+		Gaps:      []uint64{6},
+		Totals:    Totals{Delivered: 3},
+	}
+	diff := Diff(a, b)
+	if len(diff) != 5 { // two delivery slots + NAK + gap + totals
+		t.Fatalf("diff found %d divergences, want 5: %v", len(diff), diff)
+	}
+	if len(Diff(a, a)) != 0 {
+		t.Fatalf("self-diff not empty: %v", Diff(a, a))
+	}
+}

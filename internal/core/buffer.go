@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/dmtp"
 	"repro/internal/netsim"
 	"repro/internal/wire"
 )
@@ -49,43 +50,29 @@ type BufferConfig struct {
 	StashTransit bool
 }
 
-// BufferStats are cumulative buffer-node counters.
+// BufferStats are cumulative buffer-node counters: the engine's stash,
+// NAK-service and trim counters plus the adapter's forwarding counters.
 type BufferStats struct {
-	Upgraded      uint64
-	Forwarded     uint64
-	Buffered      uint64
-	BufferedBytes uint64
-	Evicted       uint64
-	Trimmed       uint64 // dropped after cumulative ACK
-	NAKs          uint64
-	Retransmits   uint64
-	Misses        uint64 // NAKed sequence numbers no longer buffered
-	Repointed     uint64 // transit packets re-homed to this buffer
-	Crashes       uint64 // Crash() invocations (chaos testing)
-	DroppedDown   uint64 // frames discarded while crashed
-}
-
-type bufKey struct {
-	exp wire.ExperimentID
-	seq uint64
+	dmtp.BufferStats
+	Upgraded    uint64
+	Forwarded   uint64
+	Repointed   uint64 // transit packets re-homed to this buffer
+	DroppedDown uint64 // frames discarded while crashed
 }
 
 // BufferNode is the first-line DTN: it upgrades sensor streams into the
 // WAN mode, assigns sequence numbers, buffers sequenced packets, and serves
 // retransmissions on NAK — the paper's "closer source" that shortens
 // recovery RTT relative to retransmitting from the instrument (§5.1).
+// The stash, NAK service, cumulative trim and crash/restart live in
+// dmtp.BufferEngine; this type adapts them to the simulator substrate.
 type BufferNode struct {
 	cfg  BufferConfig
 	node *netsim.Node
 	nw   *netsim.Network
+	eng  *dmtp.BufferEngine
 
 	Stats BufferStats
-
-	seqs  map[wire.ExperimentID]uint64
-	store map[bufKey][]byte
-	order []bufKey // FIFO for eviction
-	bytes int
-	down  bool // crashed: all traffic is discarded until Restart
 }
 
 // NewBufferNode creates a buffer node and registers it on the network.
@@ -99,15 +86,14 @@ func NewBufferNode(nw *netsim.Network, name string, addr wire.Addr, cfg BufferCo
 // callers that wrap it in a decorating handler (e.g. discovery.Wrap); the
 // node is bound via Attach when the wrapper is registered.
 func NewBufferHandler(nw *netsim.Network, cfg BufferConfig) *BufferNode {
-	if cfg.CapacityBytes == 0 {
-		cfg.CapacityBytes = 64 << 20
-	}
-	return &BufferNode{
-		cfg:   cfg,
-		nw:    nw,
-		seqs:  make(map[wire.ExperimentID]uint64),
-		store: make(map[bufKey][]byte),
-	}
+	b := &BufferNode{cfg: cfg, nw: nw}
+	// Retransmissions leave via the WAN egress; the datapath clones
+	// stash entries before framing them (the engine keeps ownership).
+	b.eng = dmtp.NewBufferEngine(
+		nodeDatapath{node: func() *netsim.Node { return b.node }, nw: nw, port: cfg.ForwardPort},
+		dmtp.BufferConfig{CapacityBytes: cfg.CapacityBytes, Stats: &b.Stats.BufferStats},
+	)
+	return b
 }
 
 // Node returns the buffer's network node.
@@ -117,7 +103,7 @@ func (b *BufferNode) Node() *netsim.Node { return b.node }
 func (b *BufferNode) Addr() wire.Addr { return b.node.Addr }
 
 // BufferedBytes returns current buffer occupancy.
-func (b *BufferNode) BufferedBytes() int { return b.bytes }
+func (b *BufferNode) BufferedBytes() int { return b.eng.BufferedBytes() }
 
 // Attach implements netsim.Handler.
 func (b *BufferNode) Attach(n *netsim.Node) { b.node = n }
@@ -127,26 +113,17 @@ func (b *BufferNode) Attach(n *netsim.Node) { b.node = n }
 // retransmission buffer is lost. Sequence counters survive (the journalled
 // state a production relay recovers); buffered payloads do not, so
 // post-Restart NAKs for pre-crash packets meet a cold buffer.
-func (b *BufferNode) Crash() {
-	if b.down {
-		return
-	}
-	b.down = true
-	b.Stats.Crashes++
-	b.store = make(map[bufKey][]byte)
-	b.order = nil
-	b.bytes = 0
-}
+func (b *BufferNode) Crash() { b.eng.Crash() }
 
 // Restart brings a crashed node back into service with a cold buffer.
-func (b *BufferNode) Restart() { b.down = false }
+func (b *BufferNode) Restart() { b.eng.Restart() }
 
 // IsDown reports whether the node is crashed.
-func (b *BufferNode) IsDown() bool { return b.down }
+func (b *BufferNode) IsDown() bool { return b.eng.Down() }
 
 // HandleFrame implements netsim.Handler.
 func (b *BufferNode) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
-	if b.down {
+	if b.eng.Down() {
 		b.Stats.DroppedDown++
 		return
 	}
@@ -185,33 +162,15 @@ func (b *BufferNode) upgradeAndForward(v wire.View) {
 	exp := up.Experiment()
 	var seq uint64
 	if feats.Has(wire.FeatSequenced) {
-		b.seqs[exp]++
-		seq = b.seqs[exp]
-		up.SetSeq(seq)
+		seq = b.eng.NextSeq(exp)
 	}
-	if feats.Has(wire.FeatReliable) {
-		up.SetRetransmitBuffer(b.node.Addr)
-	}
-	if feats.Has(wire.FeatAgeTracked) && b.cfg.MaxAge > 0 {
-		up.SetMaxAge(uint32(b.cfg.MaxAge / time.Microsecond))
-	}
-	if feats.Has(wire.FeatTimely) && b.cfg.DeadlineBudget > 0 {
-		up.SetDeadline(b.nw.Now().Add(b.cfg.DeadlineBudget).Nanos(), b.cfg.DeadlineNotify)
-	}
-	if feats.Has(wire.FeatBackPressure) {
-		off, err := feats.ExtOffset(wire.FeatBackPressure)
-		if err == nil {
-			ext := up[wire.CoreHeaderLen+off:]
-			copy(ext[:4], b.cfg.BackPressureSink.IP[:])
-			ext[4] = byte(b.cfg.BackPressureSink.Port >> 8)
-			ext[5] = byte(b.cfg.BackPressureSink.Port)
-		}
-	}
-	if feats.Has(wire.FeatTimestamped) {
-		if ts, err := up.OriginTimestamp(); err == nil && ts == 0 {
-			up.SetOriginTimestamp(b.nw.Now().Nanos())
-		}
-	}
+	dmtp.StampUpgrade(up, seq, int64(b.nw.Now()), dmtp.Upgrade{
+		Self:             b.node.Addr,
+		MaxAge:           b.cfg.MaxAge,
+		DeadlineBudget:   b.cfg.DeadlineBudget,
+		DeadlineNotify:   b.cfg.DeadlineNotify,
+		BackPressureSink: b.cfg.BackPressureSink,
+	})
 	if feats.Has(wire.FeatEncrypted) && b.cfg.Cipher != nil {
 		nonce := uint32(seq)
 		off, _ := feats.ExtOffset(wire.FeatEncrypted)
@@ -222,7 +181,10 @@ func (b *BufferNode) upgradeAndForward(v wire.View) {
 	}
 	b.Stats.Upgraded++
 	if feats.Has(wire.FeatSequenced) {
-		b.stash(exp, seq, up)
+		// Stash an independent copy: downstream elements mutate headers
+		// in flight, and the buffer must retransmit the packet as it
+		// left this node.
+		b.eng.Stash(exp, seq, []byte(up.Clone()))
 	}
 	b.send(b.cfg.ForwardPort, b.cfg.Forward, up)
 	b.Stats.Forwarded++
@@ -245,30 +207,8 @@ func (b *BufferNode) adoptTransit(v wire.View) {
 	if err := v.SetRetransmitBuffer(b.node.Addr); err != nil {
 		return
 	}
-	b.stash(v.Experiment(), seq, v)
+	b.eng.Stash(v.Experiment(), seq, []byte(v.Clone()))
 	b.Stats.Repointed++
-}
-
-// stash stores an independent copy: downstream elements mutate headers in
-// flight (age, back-pressure level), and the buffer must retransmit the
-// packet as it left this node.
-func (b *BufferNode) stash(exp wire.ExperimentID, seq uint64, pkt wire.View) {
-	cp := pkt.Clone()
-	k := bufKey{exp, seq}
-	for b.bytes+len(cp) > b.cfg.CapacityBytes && len(b.order) > 0 {
-		oldest := b.order[0]
-		b.order = b.order[1:]
-		if old, ok := b.store[oldest]; ok {
-			b.bytes -= len(old)
-			delete(b.store, oldest)
-			b.Stats.Evicted++
-		}
-	}
-	b.store[k] = cp
-	b.order = append(b.order, k)
-	b.bytes += len(cp)
-	b.Stats.Buffered++
-	b.Stats.BufferedBytes += uint64(len(cp))
 }
 
 func (b *BufferNode) handleControl(ingress *netsim.Port, f *netsim.Frame, v wire.View) {
@@ -282,49 +222,14 @@ func (b *BufferNode) handleControl(ingress *netsim.Port, f *netsim.Frame, v wire
 		if err != nil {
 			return
 		}
-		b.Stats.NAKs++
-		b.serveNAK(nak)
+		b.eng.ServeNAK(nak)
 	case wire.ConfigAck:
 		ack, err := wire.DecodeAck(f.Data)
 		if err != nil {
 			return
 		}
-		b.trim(ack.Experiment, ack.CumulativeSeq)
+		b.eng.Trim(ack.Experiment, ack.CumulativeSeq)
 	}
-}
-
-func (b *BufferNode) serveNAK(nak *wire.NAK) {
-	for _, r := range nak.Ranges {
-		for seq := r.From; seq <= r.To && r.To >= r.From; seq++ {
-			if pkt, ok := b.store[bufKey{nak.Experiment, seq}]; ok {
-				// Retransmit a fresh copy directly to the requester.
-				b.send(b.cfg.ForwardPort, nak.Requester, wire.View(pkt).Clone())
-				b.Stats.Retransmits++
-			} else {
-				b.Stats.Misses++
-			}
-			if seq == r.To { // avoid uint64 wrap on To == MaxUint64
-				break
-			}
-		}
-	}
-}
-
-// trim drops buffered packets up to and including cum.
-func (b *BufferNode) trim(exp wire.ExperimentID, cum uint64) {
-	kept := b.order[:0]
-	for _, k := range b.order {
-		if k.exp == exp && k.seq <= cum {
-			if old, ok := b.store[k]; ok {
-				b.bytes -= len(old)
-				delete(b.store, k)
-				b.Stats.Trimmed++
-			}
-			continue
-		}
-		kept = append(kept, k)
-	}
-	b.order = kept
 }
 
 func (b *BufferNode) send(port int, dst wire.Addr, data []byte) {

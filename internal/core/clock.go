@@ -1,0 +1,68 @@
+package core
+
+import (
+	"repro/internal/dmtp"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// loopClock adapts the simulator's virtual time and event loop to the
+// engine Clock contract. The epoch is virtual time zero; sim.Time is
+// already int64 nanoseconds.
+type loopClock struct {
+	nw *netsim.Network
+}
+
+func (c loopClock) Now() int64 { return int64(c.nw.Now()) }
+
+func (c loopClock) Schedule(at int64, fn func()) dmtp.Timer {
+	t := sim.Time(at)
+	if now := c.nw.Now(); t < now {
+		t = now
+	}
+	return &simTimerBox{c.nw.Loop().At(t, fn)}
+}
+
+// simTimerBox lifts the value-type sim.Timer handle behind the Timer
+// interface.
+type simTimerBox struct{ t sim.Timer }
+
+func (b *simTimerBox) Stop() { b.t.Stop() }
+
+// nodeDatapath sends engine output through a netsim node. Data sends
+// are cloned first: the engine retains ownership of what it hands to
+// SendData, while a netsim frame keeps its Data slice in flight.
+type nodeDatapath struct {
+	node func() *netsim.Node
+	nw   *netsim.Network
+	// port, when non-negative, routes sends out a specific port (the
+	// buffer node's WAN egress); otherwise the node's default routing
+	// via SendTo applies.
+	port int
+}
+
+func (d nodeDatapath) SendControl(dst wire.Addr, pkt []byte) {
+	d.sendOwned(dst, pkt)
+}
+
+func (d nodeDatapath) SendData(dst wire.Addr, pkt []byte) {
+	d.sendOwned(dst, []byte(wire.View(pkt).Clone()))
+}
+
+func (d nodeDatapath) sendOwned(dst wire.Addr, pkt []byte) {
+	n := d.node()
+	if n == nil {
+		return
+	}
+	if d.port < 0 {
+		n.SendTo(dst, pkt)
+		return
+	}
+	n.Port(d.port).Send(&netsim.Frame{
+		Src:  n.Addr,
+		Dst:  dst,
+		Data: pkt,
+		Born: d.nw.Now(),
+	})
+}

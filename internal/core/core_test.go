@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -82,47 +81,6 @@ func TestXORKeystreamNonceMatters(t *testing.T) {
 	c.Seal(0, 2, b)
 	if bytes.Equal(a, b) {
 		t.Fatal("different nonces produced identical ciphertext")
-	}
-}
-
-func TestToRangesQuick(t *testing.T) {
-	f := func(raw []uint16) bool {
-		seqs := make([]uint64, len(raw))
-		seen := make(map[uint64]bool)
-		for i, v := range raw {
-			seqs[i] = uint64(v)
-			seen[uint64(v)] = true
-		}
-		ranges := toRanges(seqs)
-		// Every input seq must be covered; total coverage must equal the
-		// distinct input count (ranges must not over-cover).
-		var covered uint64
-		for _, r := range ranges {
-			if r.To < r.From {
-				return false
-			}
-			covered += r.To - r.From + 1
-			for s := r.From; s <= r.To; s++ {
-				if !seen[s] {
-					return false
-				}
-			}
-		}
-		return covered == uint64(len(seen))
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestToRangesCompresses(t *testing.T) {
-	got := toRanges([]uint64{5, 1, 2, 3, 9})
-	want := []wire.SeqRange{{From: 1, To: 3}, {From: 5, To: 5}, {From: 9, To: 9}}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("got %v", got)
-	}
-	if toRanges(nil) != nil {
-		t.Fatal("empty input should return nil")
 	}
 }
 

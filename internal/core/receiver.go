@@ -3,8 +3,8 @@ package core
 import (
 	"time"
 
+	"repro/internal/dmtp"
 	"repro/internal/netsim"
-	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -16,7 +16,7 @@ type ReceiverConfig struct {
 	NAKDelay time.Duration
 	// NAKRetry is the retransmission-request timeout; it should cover the
 	// round trip to the nearest buffer. Zero means 5 ms. Retries back off
-	// exponentially, capped at NAKRetryMax.
+	// exponentially with seeded jitter, capped at NAKRetryMax.
 	NAKRetry time.Duration
 	// NAKRetryMax caps the exponential backoff between retries; zero
 	// means 500 ms. Without the cap a large MaxNAKs overflows the shift
@@ -25,9 +25,16 @@ type ReceiverConfig struct {
 	// MaxNAKs bounds recovery attempts per sequence number before the
 	// packet is declared lost. Zero means 5.
 	MaxNAKs int
+	// Seed drives the NAK retry jitter. Multi-receiver simulations give
+	// each receiver its own seed so synchronized gaps don't NAK in
+	// lockstep (the live path always jittered; the engine unifies it).
+	Seed int64
 	// OnGap reports each sequence number written off as permanently lost
 	// after MaxNAKs — the deliver-with-gap degradation signal.
 	OnGap func(exp wire.ExperimentID, seq uint64)
+	// OnNAK, when non-nil, observes every NAK sent (experiment and
+	// requested ranges); the conformance suite records these.
+	OnNAK func(exp wire.ExperimentID, ranges []wire.SeqRange)
 	// Counters, when non-nil, records recoveries and permanent losses
 	// (normally shared with a faults.Plan's counter set).
 	Counters *telemetry.CounterSet
@@ -51,71 +58,23 @@ type ReceiverConfig struct {
 }
 
 // Message is one delivered DAQ message with transport-level metadata.
-type Message struct {
-	Experiment wire.ExperimentID
-	Seq        uint64 // 0 when the stream is unsequenced
-	Payload    []byte
-	// Latency is origin-to-delivery time when the packet carried an
-	// origin timestamp; otherwise -1.
-	Latency time.Duration
-	// Aged reports the in-network age flag.
-	Aged bool
-	// Late reports a missed delivery deadline, checked at the
-	// destination (pilot mode 3).
-	Late bool
-	// Recovered marks messages restored via NAK retransmission.
-	Recovered bool
-}
+// It is the engine's message type; both substrates deliver it.
+type Message = dmtp.Message
 
-// ReceiverStats are cumulative receiver counters.
-type ReceiverStats struct {
-	Received    uint64
-	Bytes       uint64
-	Delivered   uint64
-	Duplicates  uint64
-	GapsSeen    uint64
-	NAKsSent    uint64
-	Recovered   uint64
-	Lost        uint64 // given up after MaxNAKs
-	Aged        uint64
-	Late        uint64
-	Unsequenced uint64
-}
-
-type missing struct {
-	detected sim.Time
-	naks     int
-	nextNAK  sim.Time
-}
-
-type streamState struct {
-	exp          wire.ExperimentID
-	maxSeen      uint64
-	floor        uint64 // every seq ≤ floor is received or written off
-	received     map[uint64]bool
-	missing      map[uint64]*missing
-	buffer       wire.Addr // most recent retransmission-buffer pointer
-	timer        sim.Timer
-	lastActivity sim.Time
-	ackArmed     bool
-	// Ordered-delivery state: messages awaiting their turn and the next
-	// sequence number to hand to the application.
-	pending     map[uint64]*pendingMsg
-	nextDeliver uint64
-}
-
-type pendingMsg struct {
-	msg     Message
-	arrived sim.Time
-}
+// ReceiverStats are cumulative receiver counters (the engine's).
+type ReceiverStats = dmtp.ReceiverStats
 
 // Receiver is the downstream DMTP endpoint: it delivers messages, detects
 // loss from sequence gaps, recovers from the nearest upstream buffer via
-// NAKs, and performs the destination timeliness check.
+// NAKs, and performs the destination timeliness check. The protocol state
+// machine lives in dmtp.ReceiverEngine; this type adapts it to the
+// simulator substrate (netsim frames in, virtual-time timers, loop-run
+// delivery callbacks).
 type Receiver struct {
 	cfg  ReceiverConfig
 	node *netsim.Node
 	nw   *netsim.Network
+	eng  *dmtp.ReceiverEngine
 
 	Stats ReceiverStats
 	// LatencyHist records origin→delivery latency.
@@ -127,8 +86,6 @@ type Receiver struct {
 	// OrderedHOL records, for ordered delivery, how long each fully
 	// received message waited behind earlier gaps.
 	OrderedHOL *telemetry.Histogram
-
-	streams map[wire.ExperimentID]*streamState
 }
 
 // NewReceiver creates a receiver and registers its node on the network.
@@ -154,14 +111,33 @@ func NewReceiverHandler(nw *netsim.Network, cfg ReceiverConfig) *Receiver {
 	if cfg.MaxNAKs == 0 {
 		cfg.MaxNAKs = 5
 	}
-	return &Receiver{
+	r := &Receiver{
 		cfg:          cfg,
 		nw:           nw,
 		LatencyHist:  telemetry.NewHistogram(),
 		RecoveryHist: telemetry.NewHistogram(),
 		OrderedHOL:   telemetry.NewHistogram(),
-		streams:      make(map[wire.ExperimentID]*streamState),
 	}
+	r.eng = dmtp.NewReceiverEngine(loopClock{nw}, nodeDatapath{node: func() *netsim.Node { return r.node }, nw: nw, port: -1},
+		dmtp.ReceiverConfig{
+			NAKDelay:        cfg.NAKDelay,
+			NAKRetry:        cfg.NAKRetry,
+			NAKRetryMax:     cfg.NAKRetryMax,
+			MaxNAKs:         cfg.MaxNAKs,
+			Seed:            cfg.Seed,
+			AckInterval:     cfg.AckInterval,
+			Ordered:         cfg.Ordered,
+			OnGap:           cfg.OnGap,
+			OnNAK:           cfg.OnNAK,
+			Counters:        cfg.Counters,
+			FinalizePayload: r.finalizePayload,
+			Deliver:         r.handOver,
+			Stats:           &r.Stats,
+			LatencyHist:     r.LatencyHist,
+			RecoveryHist:    r.RecoveryHist,
+			OrderedHOL:      r.OrderedHOL,
+		})
+	return r
 }
 
 // Node returns the receiver's network node.
@@ -171,17 +147,14 @@ func (r *Receiver) Node() *netsim.Node { return r.node }
 func (r *Receiver) Addr() wire.Addr { return r.node.Addr }
 
 // Attach implements netsim.Handler.
-func (r *Receiver) Attach(n *netsim.Node) { r.node = n }
+func (r *Receiver) Attach(n *netsim.Node) {
+	r.node = n
+	r.eng.SetSelf(n.Addr)
+}
 
 // OutstandingGaps returns the number of sequence numbers currently awaiting
 // recovery across all streams.
-func (r *Receiver) OutstandingGaps() int {
-	n := 0
-	for _, st := range r.streams {
-		n += len(st.missing)
-	}
-	return n
-}
+func (r *Receiver) OutstandingGaps() int { return r.eng.OutstandingGaps() }
 
 // HandleFrame implements netsim.Handler.
 func (r *Receiver) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
@@ -192,141 +165,26 @@ func (r *Receiver) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
 	if v.IsControl() {
 		return // receivers ignore control traffic addressed to them
 	}
-	r.Stats.Received++
-	r.Stats.Bytes += uint64(len(v))
-	feats := v.Features()
-	exp := v.Experiment()
-
-	msg := Message{Experiment: exp, Latency: -1}
-	if feats.Has(wire.FeatTimestamped) {
-		if origin, err := v.OriginTimestamp(); err == nil && origin > 0 {
-			msg.Latency = time.Duration(r.nw.Now().Nanos() - origin)
-			r.LatencyHist.ObserveDuration(msg.Latency)
-		}
-	}
-	if feats.Has(wire.FeatAgeTracked) {
-		if age, err := v.Age(); err == nil {
-			aged := age.Aged()
-			// Destination timeliness check (pilot mode 3): the receiver
-			// recomputes the final age from the origin timestamp, so a
-			// budget blown on the last segment is caught even though no
-			// network element sits there to update the field.
-			if !aged && age.MaxAgeMicros > 0 && msg.Latency >= 0 &&
-				uint64(msg.Latency/time.Microsecond) >= uint64(age.MaxAgeMicros) {
-				aged = true
-			}
-			if aged {
-				msg.Aged = true
-				r.Stats.Aged++
-			}
-		}
-	}
-	if feats.Has(wire.FeatTimely) {
-		if deadline, _, err := v.Deadline(); err == nil && deadline != 0 && r.nw.Now().Nanos() > deadline {
-			msg.Late = true
-			r.Stats.Late++
-		}
-	}
-
-	if !feats.Has(wire.FeatSequenced) {
-		r.Stats.Unsequenced++
-		r.deliver(v, msg)
-		return
-	}
-	seq, err := v.Seq()
-	if err != nil || seq == 0 {
-		r.Stats.Unsequenced++
-		r.deliver(v, msg)
-		return
-	}
-	msg.Seq = seq
-
-	st := r.stream(exp)
-	if feats.Has(wire.FeatReliable) {
-		if buf, err := v.RetransmitBuffer(); err == nil && !buf.IsZero() {
-			st.buffer = buf
-		}
-	}
-	if seq <= st.floor || st.received[seq] {
-		r.Stats.Duplicates++
-		return
-	}
-	st.received[seq] = true
-	if m, wasMissing := st.missing[seq]; wasMissing {
-		delete(st.missing, seq)
-		// Only arrivals that needed a NAK count as recovered; a packet
-		// that shows up before the first NAK fires was merely reordered,
-		// not lost.
-		if m.naks > 0 {
-			msg.Recovered = true
-			r.Stats.Recovered++
-			r.cfg.Counters.Inc(telemetry.CounterRecovered)
-			r.RecoveryHist.ObserveDuration(r.nw.Now().Sub(m.detected))
-		}
-	}
-	if seq > st.maxSeen {
-		for s := st.maxSeen + 1; s < seq; s++ {
-			if s > st.floor && !st.received[s] {
-				st.missing[s] = &missing{
-					detected: r.nw.Now(),
-					nextNAK:  r.nw.Now().Add(r.cfg.NAKDelay),
-				}
-				r.Stats.GapsSeen++
-			}
-		}
-		st.maxSeen = seq
-	}
-	r.advanceFloor(st)
-	r.armTimer(st)
-	if r.cfg.Ordered {
-		st.pending[seq] = &pendingMsg{msg: r.finalize(v, msg), arrived: r.nw.Now()}
-		r.flushOrdered(st)
-		return
-	}
-	r.deliver(v, msg)
+	r.eng.Ingest(v)
 }
 
-// flushOrdered hands over every pending message whose turn has come,
-// skipping sequence numbers that were written off as lost.
-func (r *Receiver) flushOrdered(st *streamState) {
-	for st.nextDeliver <= st.maxSeen {
-		if pm, ok := st.pending[st.nextDeliver]; ok {
-			delete(st.pending, st.nextDeliver)
-			r.OrderedHOL.ObserveDuration(r.nw.Now().Sub(pm.arrived))
-			r.handOver(pm.msg)
-			st.nextDeliver++
-			continue
-		}
-		if st.nextDeliver <= st.floor {
-			st.nextDeliver++ // written off as lost; skip its slot
-			continue
-		}
-		return // still awaiting recovery
-	}
-}
-
-func (r *Receiver) deliver(v wire.View, msg Message) {
-	r.handOver(r.finalize(v, msg))
-}
-
-// finalize decrypts the payload and completes the message.
-func (r *Receiver) finalize(v wire.View, msg Message) Message {
+// finalizePayload decrypts FeatEncrypted payloads; plain payloads alias
+// the frame (simulator frames outlive delivery).
+func (r *Receiver) finalizePayload(v wire.View) []byte {
 	payload := v.Payload()
 	if v.Features().Has(wire.FeatEncrypted) && r.cfg.Cipher != nil {
 		if ext, err := cipherExt(v); err == nil {
 			// Decrypt a copy: the view may alias a buffered frame.
 			dec := append([]byte(nil), payload...)
 			r.cfg.Cipher.Open(ext.KeyEpoch, ext.Nonce, dec)
-			payload = dec
+			return dec
 		}
 	}
-	msg.Payload = payload
-	return msg
+	return payload
 }
 
 // handOver delivers a finalized message to the application.
 func (r *Receiver) handOver(msg Message) {
-	r.Stats.Delivered++
 	r.Meter.Add(len(msg.Payload))
 	if r.cfg.OnMessage != nil {
 		r.cfg.OnMessage(msg)
@@ -343,160 +201,4 @@ func cipherExt(v wire.View) (wire.CipherExt, error) {
 		KeyEpoch: uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]),
 		Nonce:    uint32(b[4])<<24 | uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7]),
 	}, nil
-}
-
-func (r *Receiver) stream(exp wire.ExperimentID) *streamState {
-	st, ok := r.streams[exp]
-	if !ok {
-		st = &streamState{
-			exp:         exp,
-			received:    make(map[uint64]bool),
-			missing:     make(map[uint64]*missing),
-			pending:     make(map[uint64]*pendingMsg),
-			nextDeliver: 1,
-		}
-		r.streams[exp] = st
-	}
-	st.lastActivity = r.nw.Now()
-	if r.cfg.AckInterval > 0 && !st.ackArmed {
-		st.ackArmed = true
-		r.scheduleAck(st)
-	}
-	return st
-}
-
-func (r *Receiver) advanceFloor(st *streamState) {
-	for st.received[st.floor+1] {
-		delete(st.received, st.floor+1)
-		st.floor++
-	}
-}
-
-// armTimer (re)schedules the NAK timer for the earliest pending action.
-func (r *Receiver) armTimer(st *streamState) {
-	if len(st.missing) == 0 {
-		st.timer.Stop()
-		st.timer = sim.Timer{}
-		return
-	}
-	var earliest sim.Time
-	first := true
-	for _, m := range st.missing {
-		if first || m.nextNAK < earliest {
-			earliest = m.nextNAK
-			first = false
-		}
-	}
-	if st.timer.Pending() {
-		if st.timer.When() <= earliest {
-			return
-		}
-		st.timer.Stop()
-	}
-	if earliest < r.nw.Now() {
-		earliest = r.nw.Now()
-	}
-	st.timer = r.nw.Loop().At(earliest, func() {
-		st.timer = sim.Timer{}
-		r.fireNAKs(st)
-	})
-}
-
-func (r *Receiver) fireNAKs(st *streamState) {
-	now := r.nw.Now()
-	var due []uint64
-	for seq, m := range st.missing {
-		if m.nextNAK > now {
-			continue
-		}
-		if m.naks >= r.cfg.MaxNAKs {
-			// Give up: count as lost and stop tracking, so delivery
-			// degrades to deliver-with-gap instead of NAKing forever.
-			delete(st.missing, seq)
-			st.received[seq] = true // write off so the floor advances
-			r.Stats.Lost++
-			r.cfg.Counters.Inc(telemetry.CounterPermanentLoss)
-			if r.cfg.OnGap != nil {
-				r.cfg.OnGap(st.exp, seq)
-			}
-			continue
-		}
-		due = append(due, seq)
-		m.naks++
-		m.nextNAK = now.Add(r.retryBackoff(m.naks))
-	}
-	r.advanceFloor(st)
-	if r.cfg.Ordered {
-		r.flushOrdered(st) // written-off slots unblock ordered delivery
-	}
-	if len(due) > 0 && !st.buffer.IsZero() {
-		nak := wire.NAK{
-			Experiment: st.exp,
-			Requester:  r.node.Addr,
-			Ranges:     toRanges(due),
-		}
-		if data, err := nak.AppendTo(nil); err == nil {
-			r.node.SendTo(st.buffer, data)
-			r.Stats.NAKsSent++
-		}
-	}
-	r.armTimer(st)
-}
-
-// retryBackoff returns the backoff before retry n (1-based): base·2^(n-1)
-// clamped to NAKRetryMax. The clamp matters: an unclamped shift overflows
-// time.Duration once MaxNAKs exceeds ~40, degenerating into a sub-tick
-// retry spin on permanently lost packets.
-func (r *Receiver) retryBackoff(n int) time.Duration {
-	shift := n - 1
-	if shift > 20 {
-		shift = 20
-	}
-	b := r.cfg.NAKRetry << shift
-	if b <= 0 || b > r.cfg.NAKRetryMax {
-		b = r.cfg.NAKRetryMax
-	}
-	return b
-}
-
-// toRanges compresses a sorted-or-not seq list into inclusive ranges.
-func toRanges(seqs []uint64) []wire.SeqRange {
-	if len(seqs) == 0 {
-		return nil
-	}
-	// Insertion sort: NAK bursts are small.
-	for i := 1; i < len(seqs); i++ {
-		for j := i; j > 0 && seqs[j] < seqs[j-1]; j-- {
-			seqs[j], seqs[j-1] = seqs[j-1], seqs[j]
-		}
-	}
-	var out []wire.SeqRange
-	cur := wire.SeqRange{From: seqs[0], To: seqs[0]}
-	for _, s := range seqs[1:] {
-		if s == cur.To || s == cur.To+1 {
-			cur.To = s
-			continue
-		}
-		out = append(out, cur)
-		cur = wire.SeqRange{From: s, To: s}
-	}
-	return append(out, cur)
-}
-
-func (r *Receiver) scheduleAck(st *streamState) {
-	r.nw.Loop().After(r.cfg.AckInterval, func() {
-		if st.floor > 0 && !st.buffer.IsZero() {
-			ack := wire.Ack{Experiment: st.exp, CumulativeSeq: st.floor, Acker: r.node.Addr}
-			if data, err := ack.AppendTo(nil); err == nil {
-				r.node.SendTo(st.buffer, data)
-			}
-		}
-		// Stop re-arming once the stream has gone idle, so simulations
-		// drain; the next arriving packet re-arms the cycle.
-		if r.nw.Now().Sub(st.lastActivity) > 4*r.cfg.AckInterval {
-			st.ackArmed = false
-			return
-		}
-		r.scheduleAck(st)
-	})
 }

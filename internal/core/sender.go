@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/daq"
+	"repro/internal/dmtp"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -49,6 +50,8 @@ type SenderStats struct {
 // Sender is the DAQ source endpoint (① in Fig. 3). It emits each workload
 // record as one DMTP datagram (Req 7 — message abstraction) and reacts to
 // back-pressure signals relayed by the network (paper §5.1).
+// Encapsulation and pacing live in the dmtp sender engine (Encap +
+// Pacer); this type adapts them to the simulator substrate.
 type Sender struct {
 	cfg  SenderConfig
 	node *netsim.Node
@@ -61,15 +64,9 @@ type Sender struct {
 	// OnDone, if non-nil, runs when the sender finishes.
 	OnDone func()
 
-	src     daq.Source
-	pending [][]byte // paced/back-pressured backlog
-
-	rateMbps   uint32 // 0 = unpaced
-	paused     bool
-	tokens     float64 // bytes
-	lastRefill sim.Time
-	drainTimer sim.Timer
-	recover    sim.Timer
+	src   daq.Source
+	enc   dmtp.Encap
+	pacer *dmtp.Pacer
 
 	meter telemetry.Meter
 }
@@ -79,7 +76,22 @@ func NewSender(nw *netsim.Network, name string, addr wire.Addr, cfg SenderConfig
 	if cfg.RecoverInterval == 0 {
 		cfg.RecoverInterval = 10 * time.Millisecond
 	}
-	s := &Sender{cfg: cfg, nw: nw, rateMbps: cfg.RateMbps}
+	s := &Sender{cfg: cfg, nw: nw}
+	s.enc = dmtp.Encap{
+		ConfigID:       cfg.Mode.ConfigID,
+		Features:       cfg.Mode.Features,
+		Experiment:     cfg.Experiment,
+		DupGroup:       cfg.DupGroup,
+		DupScope:       cfg.DupScope,
+		DeadlineBudget: cfg.DeadlineBudget,
+		DeadlineNotify: cfg.DeadlineNotify,
+	}
+	s.pacer = dmtp.NewPacer(loopClock{nw}, dmtp.PacerConfig{
+		RateMbps:        cfg.RateMbps,
+		RecoverInterval: cfg.RecoverInterval,
+		Send:            s.sendNow,
+		OnIdle:          s.maybeDone,
+	})
 	s.node = nw.AddNode(name, addr, s)
 	return s
 }
@@ -91,7 +103,11 @@ func (s *Sender) Node() *netsim.Node { return s.node }
 func (s *Sender) Meter() telemetry.Meter { return s.meter }
 
 // Attach implements netsim.Handler.
-func (s *Sender) Attach(n *netsim.Node) { s.node = n }
+func (s *Sender) Attach(n *netsim.Node) {
+	s.node = n
+	// Back-pressure signals come home to the sender.
+	s.enc.BackPressureSink = n.Addr
+}
 
 // HandleFrame implements netsim.Handler: the sensor receives only control
 // traffic (back-pressure, deadline notifications).
@@ -107,53 +123,12 @@ func (s *Sender) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
 			return
 		}
 		s.Stats.BackPressure++
-		s.applyBackPressure(sig)
+		s.pacer.ApplyBackPressure(sig)
 	case wire.ConfigDeadlineExceeded:
 		if _, err := wire.DecodeDeadlineExceeded(f.Data); err == nil {
 			s.Stats.DeadlineMiss++
 		}
 	}
-}
-
-func (s *Sender) applyBackPressure(sig *wire.BackPressureSignal) {
-	if sig.Level == 0 {
-		s.paused = false
-		s.rateMbps = s.cfg.RateMbps
-		s.kickDrain()
-		return
-	}
-	switch {
-	case sig.RateHintMbps > 0:
-		s.rateMbps = sig.RateHintMbps
-	case s.rateMbps > 0:
-		s.rateMbps /= 2
-		if s.rateMbps == 0 {
-			s.rateMbps = 1
-		}
-	default:
-		// Unpaced sender with no hint: halve from link-ish speed.
-		s.rateMbps = 1000
-	}
-	if sig.Level == 255 {
-		s.paused = true
-	}
-	// Schedule gradual recovery: double the rate periodically until back
-	// to the configured behaviour.
-	s.recover.Stop()
-	s.recover = s.nw.Loop().After(s.cfg.RecoverInterval, s.recoverStep)
-}
-
-func (s *Sender) recoverStep() {
-	s.paused = false
-	if s.cfg.RateMbps == 0 && s.rateMbps >= 100_000 {
-		s.rateMbps = 0 // fully recovered to unpaced
-	} else if s.cfg.RateMbps != 0 && s.rateMbps >= s.cfg.RateMbps {
-		s.rateMbps = s.cfg.RateMbps
-	} else {
-		s.rateMbps *= 2
-		s.recover = s.nw.Loop().After(s.cfg.RecoverInterval, s.recoverStep)
-	}
-	s.kickDrain()
 }
 
 // Stream schedules the whole workload source: each record is emitted at
@@ -182,43 +157,13 @@ func (s *Sender) scheduleNext() {
 
 // Emit sends one DAQ message now (or queues it under pacing).
 func (s *Sender) Emit(msg []byte, slice uint8) {
-	pkt := s.encap(msg, slice)
-	if s.rateMbps == 0 && !s.paused && len(s.pending) == 0 {
-		s.sendNow(pkt)
-		return
-	}
-	s.pending = append(s.pending, pkt)
-	s.Stats.Queued++
-	s.kickDrain()
-}
-
-func (s *Sender) encap(msg []byte, slice uint8) []byte {
-	h := wire.Header{
-		ConfigID:   s.cfg.Mode.ConfigID,
-		Features:   s.cfg.Mode.Features,
-		Experiment: wire.NewExperimentID(s.cfg.Experiment, slice),
-	}
-	if h.Features.Has(wire.FeatTimestamped) {
-		h.Timestamp.OriginNanos = s.nw.Now().Nanos()
-	}
-	if h.Features.Has(wire.FeatDuplicate) {
-		h.Dup = wire.DupExt{Group: s.cfg.DupGroup, Scope: s.cfg.DupScope}
-	}
-	if h.Features.Has(wire.FeatBackPressure) {
-		// Signals come home to the sender.
-		h.BackPressure.Sink = s.node.Addr
-	}
-	if h.Features.Has(wire.FeatTimely) && s.cfg.DeadlineBudget > 0 {
-		h.Deadline = wire.DeadlineExt{
-			DeadlineNanos: s.nw.Now().Add(s.cfg.DeadlineBudget).Nanos(),
-			Notify:        s.cfg.DeadlineNotify,
-		}
-	}
-	pkt, err := h.AppendTo(make([]byte, 0, h.WireSize()+len(msg)))
+	pkt, err := s.enc.AppendPacket(nil, int64(s.nw.Now()), msg, slice)
 	if err != nil {
 		panic(err) // modes are validated at construction
 	}
-	return append(pkt, msg...)
+	if s.pacer.Submit(pkt) {
+		s.Stats.Queued++
+	}
 }
 
 func (s *Sender) sendNow(pkt []byte) {
@@ -228,56 +173,8 @@ func (s *Sender) sendNow(pkt []byte) {
 	s.meter.Add(len(pkt))
 }
 
-// kickDrain drains the pending queue subject to pause state and the token
-// bucket.
-func (s *Sender) kickDrain() {
-	if s.drainTimer.Pending() {
-		return // drain already scheduled
-	}
-	s.drain()
-}
-
-func (s *Sender) drain() {
-	s.drainTimer = sim.Timer{}
-	if s.paused {
-		return // resumed by a recovery step or a clear signal
-	}
-	now := s.nw.Now()
-	if s.rateMbps > 0 {
-		elapsed := now.Sub(s.lastRefill)
-		s.tokens += float64(s.rateMbps) * 1e6 / 8 * elapsed.Seconds()
-		burst := float64(s.rateMbps) * 1e6 / 8 * 0.001 // 1 ms of burst
-		if burst < 64<<10 {
-			burst = 64 << 10
-		}
-		if s.tokens > burst {
-			s.tokens = burst
-		}
-	}
-	s.lastRefill = now
-	for len(s.pending) > 0 {
-		pkt := s.pending[0]
-		if s.rateMbps > 0 && s.tokens < float64(len(pkt)) {
-			// Sleep until enough tokens accumulate.
-			need := float64(len(pkt)) - s.tokens
-			wait := time.Duration(need / (float64(s.rateMbps) * 1e6 / 8) * float64(time.Second))
-			if wait <= 0 {
-				wait = time.Microsecond
-			}
-			s.drainTimer = s.nw.Loop().After(wait, s.drain)
-			return
-		}
-		if s.rateMbps > 0 {
-			s.tokens -= float64(len(pkt))
-		}
-		s.pending = s.pending[1:]
-		s.sendNow(pkt)
-	}
-	s.maybeDone()
-}
-
 func (s *Sender) maybeDone() {
-	if s.src == nil && len(s.pending) == 0 && !s.Done {
+	if s.src == nil && s.pacer.Idle() && !s.Done {
 		s.Done = true
 		if s.OnDone != nil {
 			s.OnDone()

@@ -1,0 +1,234 @@
+package dmtp
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BufferStats are cumulative buffer-engine counters. Substrate adapters
+// embed them in (or map them into) their own stats types.
+type BufferStats struct {
+	Buffered      uint64
+	BufferedBytes uint64
+	Evicted       uint64
+	Trimmed       uint64 // dropped after cumulative ACK
+	NAKs          uint64
+	Retransmits   uint64
+	Misses        uint64 // NAKed sequence numbers no longer buffered
+	Crashes       uint64 // Crash() invocations (chaos testing)
+}
+
+// BufferConfig configures a BufferEngine.
+type BufferConfig struct {
+	// CapacityBytes bounds the retransmission buffer; oldest packets
+	// are evicted first. Zero means 64 MiB.
+	CapacityBytes int
+	// Release, when non-nil, is called exactly once for every stashed
+	// buffer the engine lets go of (eviction, trim, crash). The live
+	// adapter returns pooled buffers to wire.BufferPool here; the
+	// simulator adapter leaves it nil and lets the GC collect clones.
+	Release func([]byte)
+	// Stats, when non-nil, is where the engine counts; adapters expose
+	// it as part of their own stats. Nil allocates a private struct.
+	Stats *BufferStats
+}
+
+type bufKey struct {
+	exp wire.ExperimentID
+	seq uint64
+}
+
+// BufferEngine is the retransmission-buffer state machine shared by the
+// simulator's BufferNode and the live Relay: per-experiment sequence
+// assignment, a FIFO-evicted stash that owns its entries, NAK service,
+// cumulative-ACK trim, and crash/restart. Like ReceiverEngine it is not
+// self-synchronizing; the adapter serializes access.
+type BufferEngine struct {
+	cfg   BufferConfig
+	dp    Datapath
+	stats *BufferStats
+
+	seqs  map[wire.ExperimentID]uint64
+	store map[bufKey][]byte
+	order []bufKey // FIFO for eviction
+	bytes int
+	down  bool // crashed: adapters discard traffic until Restart
+}
+
+// NewBufferEngine builds an engine over the given datapath.
+func NewBufferEngine(dp Datapath, cfg BufferConfig) *BufferEngine {
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = 64 << 20
+	}
+	stats := cfg.Stats
+	if stats == nil {
+		stats = &BufferStats{}
+	}
+	return &BufferEngine{
+		cfg:   cfg,
+		dp:    dp,
+		stats: stats,
+		seqs:  make(map[wire.ExperimentID]uint64),
+		store: make(map[bufKey][]byte),
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (b *BufferEngine) Stats() BufferStats { return *b.stats }
+
+// BufferedBytes returns current buffer occupancy.
+func (b *BufferEngine) BufferedBytes() int { return b.bytes }
+
+// NextSeq assigns the next sequence number for the experiment.
+func (b *BufferEngine) NextSeq(exp wire.ExperimentID) uint64 {
+	b.seqs[exp]++
+	return b.seqs[exp]
+}
+
+// Crash models the buffering process dying: the retransmission buffer
+// is lost (entries are released), and the engine marks itself down so
+// the adapter discards traffic until Restart. Sequence counters survive
+// — the journalled state a production relay recovers; buffered payloads
+// do not, so post-Restart NAKs for pre-crash packets meet a cold buffer.
+func (b *BufferEngine) Crash() {
+	if b.down {
+		return
+	}
+	b.down = true
+	b.stats.Crashes++
+	if b.cfg.Release != nil {
+		for _, pkt := range b.store {
+			b.cfg.Release(pkt)
+		}
+	}
+	b.store = make(map[bufKey][]byte)
+	b.order = nil
+	b.bytes = 0
+}
+
+// Restart brings a crashed engine back into service with a cold buffer.
+func (b *BufferEngine) Restart() { b.down = false }
+
+// Down reports whether the engine is crashed.
+func (b *BufferEngine) Down() bool { return b.down }
+
+// Stash takes ownership of pkt and retains it for retransmission until
+// capacity eviction, a cumulative-ACK trim, or a crash releases it.
+// Callers whose packet buffers have other owners must pass a copy —
+// downstream elements mutate headers in flight (age, back-pressure
+// level), and the buffer must retransmit the packet as it left here.
+func (b *BufferEngine) Stash(exp wire.ExperimentID, seq uint64, pkt []byte) {
+	for b.bytes+len(pkt) > b.cfg.CapacityBytes && len(b.order) > 0 {
+		oldest := b.order[0]
+		b.order = b.order[1:]
+		if old, ok := b.store[oldest]; ok {
+			b.bytes -= len(old)
+			delete(b.store, oldest)
+			if b.cfg.Release != nil {
+				b.cfg.Release(old)
+			}
+			b.stats.Evicted++
+		}
+	}
+	k := bufKey{exp, seq}
+	b.store[k] = pkt
+	b.order = append(b.order, k)
+	b.bytes += len(pkt)
+	b.stats.Buffered++
+	b.stats.BufferedBytes += uint64(len(pkt))
+}
+
+// ServeNAK retransmits every requested sequence number still buffered,
+// directly to the requester. The engine retains ownership of the stash
+// entries (Datapath.SendData contract).
+func (b *BufferEngine) ServeNAK(nak *wire.NAK) {
+	b.stats.NAKs++
+	for _, r := range nak.Ranges {
+		for seq := r.From; seq <= r.To && r.To >= r.From; seq++ {
+			if pkt, ok := b.store[bufKey{nak.Experiment, seq}]; ok {
+				b.dp.SendData(nak.Requester, pkt)
+				b.stats.Retransmits++
+			} else {
+				b.stats.Misses++
+			}
+			if seq == r.To { // avoid uint64 wrap on To == MaxUint64
+				break
+			}
+		}
+	}
+}
+
+// Trim drops buffered packets up to and including cum, releasing them.
+func (b *BufferEngine) Trim(exp wire.ExperimentID, cum uint64) {
+	kept := b.order[:0]
+	for _, k := range b.order {
+		if k.exp == exp && k.seq <= cum {
+			if old, ok := b.store[k]; ok {
+				b.bytes -= len(old)
+				delete(b.store, k)
+				if b.cfg.Release != nil {
+					b.cfg.Release(old)
+				}
+				b.stats.Trimmed++
+			}
+			continue
+		}
+		kept = append(kept, k)
+	}
+	b.order = kept
+}
+
+// Upgrade describes the header fields a buffering element stamps into a
+// packet it upgrades into a richer mode. Both substrates stamp through
+// StampUpgrade so the installed header bytes cannot drift apart.
+type Upgrade struct {
+	// Self is the element's own address — what the retransmission-
+	// buffer pointer is set to.
+	Self wire.Addr
+	// MaxAge is the age budget installed when the mode is age-tracked;
+	// zero leaves the (zeroed) extension untouched.
+	MaxAge time.Duration
+	// DeadlineBudget sets deadline = now + budget when the mode is
+	// timely; zero leaves the deadline unset.
+	DeadlineBudget time.Duration
+	// DeadlineNotify is where on-path elements report late packets.
+	DeadlineNotify wire.Addr
+	// BackPressureSink is where on-path elements send congestion
+	// signals when the mode carries back-pressure.
+	BackPressureSink wire.Addr
+}
+
+// StampUpgrade installs the upgrade fields into a freshly reshaped view:
+// sequence number, retransmission-buffer pointer, age budget, delivery
+// deadline, back-pressure sink, and — only if not already stamped
+// upstream — the origin timestamp. The reshape has zeroed all extension
+// fields, so skipped stamps read as zero.
+func StampUpgrade(up wire.View, seq uint64, nowNanos int64, u Upgrade) {
+	feats := up.Features()
+	if feats.Has(wire.FeatSequenced) && seq > 0 {
+		up.SetSeq(seq)
+	}
+	if feats.Has(wire.FeatReliable) {
+		up.SetRetransmitBuffer(u.Self)
+	}
+	if feats.Has(wire.FeatAgeTracked) && u.MaxAge > 0 {
+		up.SetMaxAge(uint32(u.MaxAge / time.Microsecond))
+	}
+	if feats.Has(wire.FeatTimely) && u.DeadlineBudget > 0 {
+		up.SetDeadline(uint64(nowNanos)+uint64(u.DeadlineBudget), u.DeadlineNotify)
+	}
+	if feats.Has(wire.FeatBackPressure) {
+		if off, err := feats.ExtOffset(wire.FeatBackPressure); err == nil {
+			ext := up[wire.CoreHeaderLen+off:]
+			copy(ext[:4], u.BackPressureSink.IP[:])
+			ext[4] = byte(u.BackPressureSink.Port >> 8)
+			ext[5] = byte(u.BackPressureSink.Port)
+		}
+	}
+	if feats.Has(wire.FeatTimestamped) {
+		if ts, err := up.OriginTimestamp(); err == nil && ts == 0 {
+			up.SetOriginTimestamp(uint64(nowNanos))
+		}
+	}
+}

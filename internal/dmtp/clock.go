@@ -1,0 +1,148 @@
+package dmtp
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WallClock backs the Clock contract with real time: Now is
+// time.Now().UnixNano() and timers are time.AfterFunc goroutines. It is
+// the live path's default clock.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() int64 { return time.Now().UnixNano() }
+
+// Schedule implements Clock. fn runs on its own goroutine, as with
+// time.AfterFunc; callers needing mutual exclusion wrap the clock (the
+// live adapter serializes fires under the receiver mutex).
+func (WallClock) Schedule(at int64, fn func()) Timer {
+	d := time.Duration(at - time.Now().UnixNano())
+	if d < 0 {
+		d = 0
+	}
+	return wallTimer{time.AfterFunc(d, fn)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Stop() { w.t.Stop() }
+
+// FakeClock is a manually advanced Clock for deterministic tests: time
+// stands still until Advance/AdvanceTo moves it, firing due timers in
+// (time, schedule order) on the caller's goroutine — the same ordering
+// the simulator loop guarantees, which is what lets the conformance
+// suite run the live substrate against a frozen, scripted clock.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    int64
+	nextID uint64
+	timers []*fakeTimer // kept sorted by (at, id)
+}
+
+type fakeTimer struct {
+	at      int64
+	id      uint64
+	fn      func()
+	fc      *FakeClock
+	stopped bool
+}
+
+// NewFakeClock starts a fake clock at the given time.
+func NewFakeClock(start int64) *FakeClock { return &FakeClock{now: start} }
+
+// Now implements Clock.
+func (f *FakeClock) Now() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Schedule implements Clock. Timers scheduled in the past fire on the
+// next Advance (they are clamped to now, not fired inline).
+func (f *FakeClock) Schedule(at int64, fn func()) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if at < f.now {
+		at = f.now
+	}
+	t := &fakeTimer{at: at, id: f.nextID, fn: fn, fc: f}
+	f.nextID++
+	f.timers = append(f.timers, t)
+	sort.SliceStable(f.timers, func(i, j int) bool {
+		if f.timers[i].at != f.timers[j].at {
+			return f.timers[i].at < f.timers[j].at
+		}
+		return f.timers[i].id < f.timers[j].id
+	})
+	return t
+}
+
+func (t *fakeTimer) Stop() {
+	t.fc.mu.Lock()
+	defer t.fc.mu.Unlock()
+	t.stopped = true
+}
+
+// NextAt reports the fire time of the earliest pending timer.
+func (f *FakeClock) NextAt() (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, t := range f.timers {
+		if !t.stopped {
+			return t.at, true
+		}
+	}
+	return 0, false
+}
+
+// AdvanceTo moves time to target, firing every due timer in order. The
+// clock's own lock is released around each callback, so callbacks may
+// re-enter Schedule/Stop (engines re-arm their NAK timers from inside a
+// fire).
+func (f *FakeClock) AdvanceTo(target int64) {
+	for {
+		f.mu.Lock()
+		var due *fakeTimer
+		idx := -1
+		for i, t := range f.timers {
+			if t.stopped {
+				continue
+			}
+			if t.at <= target {
+				due, idx = t, i
+			}
+			break // sorted: the first live timer is the earliest
+		}
+		if due == nil {
+			// Drop any stopped timers we skipped over, then finish.
+			live := f.timers[:0]
+			for _, t := range f.timers {
+				if !t.stopped {
+					live = append(live, t)
+				}
+			}
+			f.timers = live
+			if f.now < target {
+				f.now = target
+			}
+			f.mu.Unlock()
+			return
+		}
+		f.timers = append(f.timers[:idx], f.timers[idx+1:]...)
+		if f.now < due.at {
+			f.now = due.at
+		}
+		f.mu.Unlock()
+		due.fn()
+	}
+}
+
+// Advance moves time forward by d, firing due timers in order.
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now + int64(d)
+	f.mu.Unlock()
+	f.AdvanceTo(target)
+}

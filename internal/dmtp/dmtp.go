@@ -1,0 +1,70 @@
+// Package dmtp holds the substrate-agnostic DMTP protocol engines: the
+// state machines that define the protocol's behaviour — encapsulation and
+// pacing (SenderEngine: Encap + Pacer), mode upgrade, stash, NAK service
+// and cumulative trim (BufferEngine), and sequence-gap detection, NAK
+// scheduling with capped jittered exponential backoff, reorder/flush and
+// the destination timeliness check (ReceiverEngine).
+//
+// The engines never touch a socket, a simulator loop, or the wall clock
+// directly. They are driven purely through three narrow contracts:
+//
+//   - Clock: current protocol time plus one-shot timers. The simulator
+//     adapter (internal/core) backs it with internal/sim virtual-time
+//     timers; the UDP adapter (internal/live) backs it with the wall
+//     clock, or with FakeClock in tests and the conformance suite.
+//   - Datapath: "send these bytes to this address". Substrates decide
+//     what an address means (a netsim node, a UDP endpoint) and obey the
+//     ownership contract documented on the interface.
+//   - Telemetry sinks: a stats struct the engine increments in place,
+//     optional telemetry.Histogram pointers, and an optional shared
+//     telemetry.CounterSet (normally a faults.Plan's), so injected-vs-
+//     recovered accounting spans both substrates.
+//
+// internal/core and internal/live are thin adapters over these engines:
+// every protocol change lands on both substrates by construction, and the
+// differential conformance suite (internal/conformance) checks that the
+// same seeded scenario produces identical delivery order, NAK ranges, and
+// recovery decisions on the simulator and on real sockets.
+package dmtp
+
+import "repro/internal/wire"
+
+// Clock is the engines' notion of time: absolute nanoseconds plus
+// one-shot timers. Implementations must fire timers in (time, schedule
+// order); the engines rely on that for deterministic NAK grouping.
+type Clock interface {
+	// Now returns the current time in nanoseconds. The epoch is the
+	// substrate's: virtual time zero in the simulator, the Unix epoch on
+	// the live path. Engines only ever subtract and add durations.
+	Now() int64
+	// Schedule runs fn once at absolute time at (clamped to now if the
+	// instant has passed). The returned Timer cancels a pending fn;
+	// stopping an already-fired timer is a no-op.
+	Schedule(at int64, fn func()) Timer
+}
+
+// Timer is a handle on a scheduled callback.
+type Timer interface {
+	// Stop cancels the callback if it has not fired yet.
+	Stop()
+}
+
+// Datapath transmits engine output. Substrates route by wire.Addr: the
+// simulator resolves it to a netsim node, the live path dials UDP.
+type Datapath interface {
+	// SendControl transmits a freshly encoded control packet (NAK, Ack).
+	// Ownership of pkt transfers to the datapath.
+	SendControl(dst wire.Addr, pkt []byte)
+	// SendData transmits a data packet the engine retains (e.g. a stash
+	// entry being retransmitted). The engine keeps ownership: a datapath
+	// that queues or retains the bytes must copy them first. Writing to
+	// a socket is a copy; handing the slice to a simulator frame is not.
+	SendData(dst wire.Addr, pkt []byte)
+}
+
+// GapFloorBias exists solely so the conformance suite can prove it
+// detects engine divergence (see internal/conformance): a nonzero bias
+// reproduces an off-by-one gap-detection floor on whichever substrate
+// runs while it is set, which must make the differential test fail.
+// It must be zero outside that self-test.
+var GapFloorBias uint64

@@ -25,12 +25,14 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dmtp"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
-// now returns the wall clock as protocol nanoseconds.
-func now() uint64 { return uint64(time.Now().UnixNano()) }
+// releaseBuffer returns relay stash buffers to the shared pool; tests
+// swap it to observe that trimmed/evicted/crashed entries are released.
+var releaseBuffer = wire.ReleaseBuffer
 
 // UDPConn is the subset of *net.UDPConn the live roles use. Middleware
 // (e.g. internal/faults.Conn) implements the same interface, so a Wrap
@@ -399,6 +401,10 @@ type RelayConfig struct {
 	// Wrap, when non-nil, decorates the socket (fault middleware); it is
 	// re-applied to the fresh socket on Restart.
 	Wrap func(UDPConn) UDPConn
+	// Clock overrides the relay clock (origin timestamps, deadlines);
+	// nil means the wall clock. The conformance suite injects a
+	// dmtp.FakeClock here.
+	Clock dmtp.Clock
 }
 
 // RelayStats are cumulative relay counters.
@@ -409,38 +415,35 @@ type RelayStats struct {
 	NAKs          uint64
 	Retransmits   uint64
 	Misses        uint64
+	Trimmed       uint64 // stash entries released after cumulative ACK
 	Crashes       uint64
 }
 
-type relayKey struct {
-	exp wire.ExperimentID
-	seq uint64
-}
-
-// Relay is the live-path network element + buffer.
+// Relay is the live-path network element + buffer. The retransmission
+// stash, NAK service, cumulative-ACK trim and crash/restart live in
+// dmtp.BufferEngine; this type adapts them to UDP sockets, with pooled
+// stash buffers released back to wire's shared pool.
 type Relay struct {
 	cfg     RelayConfig
 	fwdAddr *net.UDPAddr
+	clock   dmtp.Clock
 
-	mu     sync.Mutex
-	conn   UDPConn
-	bound  *net.UDPAddr // concrete bind address, reused by Restart
-	self   wire.Addr
-	stats  RelayStats
-	seqs   map[wire.ExperimentID]uint64
-	store  map[relayKey][]byte
-	order  []relayKey
-	bytes  int
-	nak    wire.NAK // scratch decode target for handleControl
-	down   bool     // crashed, awaiting Restart
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conn     UDPConn
+	bound    *net.UDPAddr // concrete bind address, reused by Restart
+	self     wire.Addr
+	stats    RelayStats // adapter counters: Upgraded, Forwarded, InjectedDrops
+	eng      *dmtp.BufferEngine
+	engStats dmtp.BufferStats
+	nak      wire.NAK // scratch decode target for handleControl
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // NewRelay binds the relay and starts its receive loop.
 func NewRelay(cfg RelayConfig) (*Relay, error) {
-	if cfg.CapacityBytes == 0 {
-		cfg.CapacityBytes = 64 << 20
+	if cfg.Clock == nil {
+		cfg.Clock = dmtp.WallClock{}
 	}
 	fwd, err := net.ResolveUDPAddr("udp4", cfg.Forward)
 	if err != nil {
@@ -449,9 +452,13 @@ func NewRelay(cfg RelayConfig) (*Relay, error) {
 	r := &Relay{
 		cfg:     cfg,
 		fwdAddr: fwd,
-		seqs:    make(map[wire.ExperimentID]uint64),
-		store:   make(map[relayKey][]byte),
+		clock:   cfg.Clock,
 	}
+	r.eng = dmtp.NewBufferEngine(relayDatapath{r}, dmtp.BufferConfig{
+		CapacityBytes: cfg.CapacityBytes,
+		Release:       func(b []byte) { releaseBuffer(b) },
+		Stats:         &r.engStats,
+	})
 	laddr, err := net.ResolveUDPAddr("udp4", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("live: resolve listen %q: %w", cfg.Listen, err)
@@ -508,18 +515,38 @@ func (r *Relay) WireAddr() wire.Addr {
 	return r.self
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters: the adapter's forwarding
+// counters merged with the engine's stash/NAK-service counters.
 func (r *Relay) Stats() RelayStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.stats
+	s := r.stats
+	s.NAKs = r.engStats.NAKs
+	s.Retransmits = r.engStats.Retransmits
+	s.Misses = r.engStats.Misses
+	s.Trimmed = r.engStats.Trimmed
+	s.Crashes = r.engStats.Crashes
+	return s
 }
 
 // BufferedBytes returns current retransmission-buffer occupancy.
 func (r *Relay) BufferedBytes() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.bytes
+	return r.eng.BufferedBytes()
+}
+
+// relayDatapath serves engine output (NAK retransmissions) over the
+// relay's socket. Socket writes do not retain the packet, so the engine's
+// pooled stash entries go out without copying. Called under r.mu.
+type relayDatapath struct{ r *Relay }
+
+func (d relayDatapath) SendControl(dst wire.Addr, pkt []byte) {
+	d.r.conn.WriteToUDP(pkt, toUDPAddr(dst))
+}
+
+func (d relayDatapath) SendData(dst wire.Addr, pkt []byte) {
+	d.r.conn.WriteToUDP(pkt, toUDPAddr(dst))
 }
 
 // Crash models the relay process dying: the socket closes abruptly and
@@ -529,18 +556,11 @@ func (r *Relay) BufferedBytes() int {
 // NAK-based recovery must degrade gracefully under.
 func (r *Relay) Crash() {
 	r.mu.Lock()
-	if r.down || r.closed {
+	if r.eng.Down() || r.closed {
 		r.mu.Unlock()
 		return
 	}
-	r.down = true
-	r.stats.Crashes++
-	for _, pkt := range r.store {
-		wire.ReleaseBuffer(pkt)
-	}
-	r.store = make(map[relayKey][]byte)
-	r.order = nil
-	r.bytes = 0
+	r.eng.Crash() // releases every stash buffer back to the pool
 	conn := r.conn
 	r.mu.Unlock()
 	conn.Close()
@@ -556,13 +576,13 @@ func (r *Relay) Restart() error {
 	if r.closed {
 		return fmt.Errorf("live: relay closed")
 	}
-	if !r.down {
+	if !r.eng.Down() {
 		return fmt.Errorf("live: relay not crashed")
 	}
 	if err := r.bind(r.bound); err != nil {
 		return err
 	}
-	r.down = false
+	r.eng.Restart()
 	return nil
 }
 
@@ -570,7 +590,7 @@ func (r *Relay) Restart() error {
 func (r *Relay) Down() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.down
+	return r.eng.Down()
 }
 
 // Close stops the relay.
@@ -582,7 +602,7 @@ func (r *Relay) Close() error {
 	}
 	r.closed = true
 	conn := r.conn
-	wasDown := r.down
+	wasDown := r.eng.Down()
 	r.mu.Unlock()
 	var err error
 	if !wasDown && conn != nil {
@@ -599,7 +619,7 @@ func (r *Relay) loop(conn UDPConn) {
 		n, _, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			r.mu.Lock()
-			stop := r.closed || r.down
+			stop := r.closed || r.eng.Down()
 			r.mu.Unlock()
 			if stop {
 				return
@@ -640,17 +660,16 @@ func (r *Relay) handle(conn UDPConn, pkt []byte) {
 		return
 	}
 	exp := up.Experiment()
-	r.seqs[exp]++
-	seq := r.seqs[exp]
-	up.SetSeq(seq)
-	up.SetRetransmitBuffer(r.self)
-	up.SetMaxAge(uint32(r.cfg.MaxAge / time.Microsecond))
-	if r.cfg.DeadlineBudget > 0 {
-		up.SetDeadline(now()+uint64(r.cfg.DeadlineBudget), wire.Addr{})
-	}
-	up.SetOriginTimestamp(now())
+	seq := r.eng.NextSeq(exp)
+	dmtp.StampUpgrade(up, seq, r.clock.Now(), dmtp.Upgrade{
+		Self:           r.self,
+		MaxAge:         r.cfg.MaxAge,
+		DeadlineBudget: r.cfg.DeadlineBudget,
+	})
 	r.stats.Upgraded++
-	r.stash(exp, seq, up)
+	// The stash takes ownership of the pooled buffer; it is released on
+	// eviction, cumulative-ACK trim, or crash.
+	r.eng.Stash(exp, seq, up)
 	if r.cfg.DropEveryN > 0 && seq%uint64(r.cfg.DropEveryN) == 0 {
 		r.stats.InjectedDrops++
 		return
@@ -659,48 +678,22 @@ func (r *Relay) handle(conn UDPConn, pkt []byte) {
 	r.stats.Forwarded++
 }
 
-// stash takes ownership of pkt (a pooled buffer from handle) and retains it
-// for retransmission until capacity eviction or a crash releases it.
-func (r *Relay) stash(exp wire.ExperimentID, seq uint64, pkt []byte) {
-	for r.bytes+len(pkt) > r.cfg.CapacityBytes && len(r.order) > 0 {
-		k := r.order[0]
-		r.order = r.order[1:]
-		if old, ok := r.store[k]; ok {
-			r.bytes -= len(old)
-			delete(r.store, k)
-			wire.ReleaseBuffer(old)
-		}
-	}
-	k := relayKey{exp, seq}
-	r.store[k] = pkt
-	r.order = append(r.order, k)
-	r.bytes += len(pkt)
-}
-
 func (r *Relay) handleControl(conn UDPConn, pkt []byte, v wire.View) {
-	if v.ConfigID() != wire.ConfigNAK {
-		return
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	// Decode into the relay's scratch NAK, reusing its Ranges capacity.
-	nak := &r.nak
-	if err := nak.DecodeFrom(pkt); err != nil {
-		return
-	}
-	r.stats.NAKs++
-	dst := toUDPAddr(nak.Requester)
-	for _, rg := range nak.Ranges {
-		for seq := rg.From; seq <= rg.To; seq++ {
-			if data, ok := r.store[relayKey{nak.Experiment, seq}]; ok {
-				conn.WriteToUDP(data, dst)
-				r.stats.Retransmits++
-			} else {
-				r.stats.Misses++
-			}
-			if seq == rg.To {
-				break
-			}
+	switch v.ConfigID() {
+	case wire.ConfigNAK:
+		// Decode into the relay's scratch NAK, reusing its Ranges capacity.
+		nak := &r.nak
+		if err := nak.DecodeFrom(pkt); err != nil {
+			return
 		}
+		r.eng.ServeNAK(nak)
+	case wire.ConfigAck:
+		ack, err := wire.DecodeAck(pkt)
+		if err != nil {
+			return
+		}
+		r.eng.Trim(ack.Experiment, ack.CumulativeSeq)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dmtp"
 	"repro/internal/wire"
 )
 
@@ -171,7 +172,7 @@ func TestLiveAddrConversions(t *testing.T) {
 }
 
 func TestSeqsToRanges(t *testing.T) {
-	got := seqsToRanges([]uint64{9, 2, 1, 3})
+	got := dmtp.ToRanges([]uint64{9, 2, 1, 3})
 	if len(got) != 2 || got[0] != (wire.SeqRange{From: 1, To: 3}) || got[1] != (wire.SeqRange{From: 9, To: 9}) {
 		t.Fatalf("ranges %v", got)
 	}

@@ -2,11 +2,11 @@ package live
 
 import (
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/dmtp"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -30,12 +30,21 @@ type ReceiverConfig struct {
 	MaxNAKs int
 	// Seed drives the retry jitter, for deterministic tests.
 	Seed int64
+	// AckInterval, when nonzero, emits cumulative ACKs to the relay so it
+	// can trim acknowledged packets from its retransmission buffer.
+	AckInterval time.Duration
+	// Clock overrides the engine clock; nil means the wall clock. Tests
+	// and the conformance suite inject a dmtp.FakeClock here to drive NAK
+	// timing deterministically.
+	Clock dmtp.Clock
 	// OnMessage delivers each message; called from the receive goroutine.
 	OnMessage func(m Message)
 	// OnGap reports each sequence number written off as permanently lost
 	// — the graceful-degradation signal for deliver-with-gap consumers.
-	// Called from the NAK goroutine.
 	OnGap func(exp wire.ExperimentID, seq uint64)
+	// OnNAK, when non-nil, observes every NAK sent (experiment and
+	// requested ranges); the conformance suite records these.
+	OnNAK func(exp wire.ExperimentID, ranges []wire.SeqRange)
 	// Wrap, when non-nil, decorates the socket (fault middleware).
 	Wrap func(UDPConn) UDPConn
 	// Counters, when non-nil, is the shared fault/recovery counter set
@@ -43,16 +52,9 @@ type ReceiverConfig struct {
 	Counters *telemetry.CounterSet
 }
 
-// Message is one delivered message on the live path.
-type Message struct {
-	Experiment wire.ExperimentID
-	Seq        uint64
-	Payload    []byte
-	Latency    time.Duration // origin→delivery; -1 if untimestamped
-	Aged       bool
-	Late       bool
-	Recovered  bool
-}
+// Message is one delivered message on the live path. It is the engine's
+// message type; both substrates deliver it.
+type Message = dmtp.Message
 
 // ReceiverStats are cumulative receiver counters.
 type ReceiverStats struct {
@@ -66,32 +68,30 @@ type ReceiverStats struct {
 	Late          uint64
 }
 
-type liveMissing struct {
-	detected time.Time
-	naks     int
-	nextNAK  time.Time
-}
-
-type liveStream struct {
-	maxSeen  uint64
-	floor    uint64
-	received map[uint64]bool
-	missing  map[uint64]*liveMissing
-	buffer   wire.Addr
-}
-
-// Receiver is the live-path destination endpoint.
+// Receiver is the live-path destination endpoint. The protocol state
+// machine — gap detection, NAK scheduling with jittered backoff, write-off
+// after MaxNAKs, timeliness checks — lives in dmtp.ReceiverEngine; this
+// type adapts it to UDP sockets and real (or injected) clocks. Engine
+// callbacks run under r.mu and queue their effects; socket writes and
+// application callbacks are flushed after the lock is released.
 type Receiver struct {
-	cfg  ReceiverConfig
-	conn UDPConn
-	self wire.Addr
+	cfg   ReceiverConfig
+	conn  UDPConn
+	self  wire.Addr
+	clock dmtp.Clock
 
-	mu      sync.Mutex
-	stats   ReceiverStats
-	streams map[wire.ExperimentID]*liveStream
-	rng     *rand.Rand // retry jitter; guarded by mu
-	closed  bool
-	wg      sync.WaitGroup
+	mu     sync.Mutex
+	eng    *dmtp.ReceiverEngine
+	closed bool
+	wg     sync.WaitGroup
+
+	// Effect queues, filled by engine callbacks under mu and drained
+	// outside it (socket writes and user callbacks must not run under the
+	// receiver lock).
+	pendMsgs  []Message
+	pendGaps  []gapEvent
+	pendNAKs  []nakEvent
+	pendSends []ctrlSend
 
 	// LatencyHist records origin→delivery latency (mutex-guarded).
 	LatencyHist *telemetry.Histogram
@@ -100,7 +100,22 @@ type Receiver struct {
 	Counters *telemetry.CounterSet
 }
 
-// NewReceiver binds the receiver and starts its loops.
+type gapEvent struct {
+	exp wire.ExperimentID
+	seq uint64
+}
+
+type nakEvent struct {
+	exp    wire.ExperimentID
+	ranges []wire.SeqRange
+}
+
+type ctrlSend struct {
+	dst wire.Addr
+	pkt []byte
+}
+
+// NewReceiver binds the receiver and starts its read loop.
 func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if cfg.NAKDelay == 0 {
 		cfg.NAKDelay = 2 * time.Millisecond
@@ -116,6 +131,9 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	}
 	if cfg.Counters == nil {
 		cfg.Counters = telemetry.NewCounterSet()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = dmtp.WallClock{}
 	}
 	laddr, err := net.ResolveUDPAddr("udp4", cfg.Listen)
 	if err != nil {
@@ -142,16 +160,68 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		cfg:         cfg,
 		conn:        c,
 		self:        self,
-		streams:     make(map[wire.ExperimentID]*liveStream),
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		clock:       cfg.Clock,
 		LatencyHist: telemetry.NewHistogram(),
 		Counters:    cfg.Counters,
 	}
-	r.wg.Add(2)
+	r.eng = dmtp.NewReceiverEngine(rxClock{r}, rxDatapath{r}, dmtp.ReceiverConfig{
+		NAKDelay:    cfg.NAKDelay,
+		NAKRetry:    cfg.NAKRetry,
+		NAKRetryMax: cfg.NAKRetryMax,
+		MaxNAKs:     cfg.MaxNAKs,
+		Seed:        cfg.Seed,
+		AckInterval: cfg.AckInterval,
+		Counters:    cfg.Counters,
+		OnGap: func(exp wire.ExperimentID, seq uint64) {
+			r.pendGaps = append(r.pendGaps, gapEvent{exp, seq})
+		},
+		OnNAK: func(exp wire.ExperimentID, ranges []wire.SeqRange) {
+			if r.cfg.OnNAK != nil {
+				r.pendNAKs = append(r.pendNAKs, nakEvent{exp, append([]wire.SeqRange(nil), ranges...)})
+			}
+		},
+		Deliver: func(m Message) {
+			r.pendMsgs = append(r.pendMsgs, m)
+		},
+		LatencyHist: r.LatencyHist,
+	})
+	r.eng.SetSelf(self)
+	r.wg.Add(1)
 	go r.readLoop()
-	go r.nakLoop()
 	return r, nil
 }
+
+// rxClock adapts the configured clock so timer fires are serialized under
+// the receiver mutex (wall-clock timers fire on their own goroutines) and
+// their queued effects are flushed outside it.
+type rxClock struct{ r *Receiver }
+
+func (c rxClock) Now() int64 { return c.r.clock.Now() }
+
+func (c rxClock) Schedule(at int64, fn func()) dmtp.Timer {
+	r := c.r
+	return r.clock.Schedule(at, func() {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		fn()
+		f := r.takeFlushLocked()
+		r.mu.Unlock()
+		r.dispatch(f)
+	})
+}
+
+// rxDatapath queues engine output (NAKs, cumulative ACKs) for transmission
+// after the receiver lock is released.
+type rxDatapath struct{ r *Receiver }
+
+func (d rxDatapath) SendControl(dst wire.Addr, pkt []byte) {
+	d.r.pendSends = append(d.r.pendSends, ctrlSend{dst, pkt})
+}
+
+func (d rxDatapath) SendData(wire.Addr, []byte) {} // receivers emit no data
 
 // Addr returns the bound address.
 func (r *Receiver) Addr() string { return r.conn.LocalAddr().String() }
@@ -160,24 +230,35 @@ func (r *Receiver) Addr() string { return r.conn.LocalAddr().String() }
 func (r *Receiver) Stats() ReceiverStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.stats
+	s := r.eng.Stats()
+	return ReceiverStats{
+		Received:      s.Received,
+		Delivered:     s.Delivered,
+		Duplicates:    s.Duplicates,
+		NAKsSent:      s.NAKsSent,
+		Recovered:     s.Recovered,
+		PermanentLoss: s.Lost,
+		Aged:          s.Aged,
+		Late:          s.Late,
+	}
 }
 
 // OutstandingGaps returns missing sequence numbers awaiting recovery.
 func (r *Receiver) OutstandingGaps() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := 0
-	for _, st := range r.streams {
-		n += len(st.missing)
-	}
-	return n
+	return r.eng.OutstandingGaps()
 }
 
 // Close stops the receiver.
 func (r *Receiver) Close() error {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
 	r.closed = true
+	r.eng.Stop()
 	r.mu.Unlock()
 	err := r.conn.Close()
 	r.wg.Wait()
@@ -198,7 +279,7 @@ func (r *Receiver) readLoop() {
 			}
 			continue
 		}
-		// handle is synchronous and copies the payload before it escapes
+		// Ingest is synchronous and copies the payload before it escapes
 		// (Message.Payload is owned by the delivery callback), so the read
 		// buffer is handed over directly and reused for the next datagram.
 		r.handle(buf[:n])
@@ -210,201 +291,60 @@ func (r *Receiver) handle(pkt []byte) {
 	if _, err := v.Check(); err != nil || v.IsControl() {
 		return
 	}
-	t := time.Now()
 	r.mu.Lock()
-	r.stats.Received++
-	feats := v.Features()
-	msg := Message{Experiment: v.Experiment(), Latency: -1}
-	if feats.Has(wire.FeatTimestamped) {
-		if origin, err := v.OriginTimestamp(); err == nil && origin > 0 {
-			msg.Latency = time.Duration(uint64(t.UnixNano()) - origin)
-			r.LatencyHist.ObserveDuration(msg.Latency)
-		}
-	}
-	if feats.Has(wire.FeatAgeTracked) {
-		if age, err := v.Age(); err == nil {
-			aged := age.Aged()
-			if !aged && age.MaxAgeMicros > 0 && msg.Latency >= 0 &&
-				uint64(msg.Latency/time.Microsecond) >= uint64(age.MaxAgeMicros) {
-				aged = true
-			}
-			if aged {
-				msg.Aged = true
-				r.stats.Aged++
-			}
-		}
-	}
-	if feats.Has(wire.FeatTimely) {
-		if deadline, _, err := v.Deadline(); err == nil && deadline != 0 && uint64(t.UnixNano()) > deadline {
-			msg.Late = true
-			r.stats.Late++
-		}
-	}
-	if !feats.Has(wire.FeatSequenced) {
-		r.deliverLocked(v, msg)
-		return
-	}
-	seq, err := v.Seq()
-	if err != nil || seq == 0 {
-		r.deliverLocked(v, msg)
-		return
-	}
-	msg.Seq = seq
-	st := r.stream(msg.Experiment)
-	if feats.Has(wire.FeatReliable) {
-		if buf, err := v.RetransmitBuffer(); err == nil && !buf.IsZero() {
-			st.buffer = buf
-		}
-	}
-	if seq <= st.floor || st.received[seq] {
-		r.stats.Duplicates++
+	if r.closed {
 		r.mu.Unlock()
 		return
 	}
-	st.received[seq] = true
-	if m, was := st.missing[seq]; was {
-		delete(st.missing, seq)
-		// Only NAKed arrivals count as recovered; earlier ones were
-		// merely reordered in flight.
-		if m.naks > 0 {
-			msg.Recovered = true
-			r.stats.Recovered++
-			r.Counters.Inc(telemetry.CounterRecovered)
-		}
-	}
-	if seq > st.maxSeen {
-		for s := st.maxSeen + 1; s < seq; s++ {
-			if s > st.floor && !st.received[s] {
-				st.missing[s] = &liveMissing{detected: t, nextNAK: t.Add(r.cfg.NAKDelay)}
-			}
-		}
-		st.maxSeen = seq
-	}
-	for st.received[st.floor+1] {
-		delete(st.received, st.floor+1)
-		st.floor++
-	}
-	r.deliverLocked(v, msg)
-}
-
-// deliverLocked finalises delivery; r.mu is held on entry and released here.
-func (r *Receiver) deliverLocked(v wire.View, msg Message) {
-	msg.Payload = append([]byte(nil), v.Payload()...)
-	r.stats.Delivered++
-	cb := r.cfg.OnMessage
+	r.eng.Ingest(v)
+	f := r.takeFlushLocked()
 	r.mu.Unlock()
-	if cb != nil {
-		cb(msg)
-	}
+	r.dispatch(f)
 }
 
-func (r *Receiver) stream(exp wire.ExperimentID) *liveStream {
-	st, ok := r.streams[exp]
-	if !ok {
-		st = &liveStream{received: make(map[uint64]bool), missing: make(map[uint64]*liveMissing)}
-		r.streams[exp] = st
-	}
-	return st
+type rxFlush struct {
+	msgs  []Message
+	gaps  []gapEvent
+	naks  []nakEvent
+	sends []ctrlSend
 }
 
-// retryBackoff returns the jittered exponential backoff before retry n
-// (1-based): base·2^(n-1) clamped to NAKRetryMax, then jittered uniformly
-// in [½, 1½)× so synchronized gaps don't NAK in lockstep. r.mu is held.
-func (r *Receiver) retryBackoff(n int) time.Duration {
-	shift := n - 1
-	if shift > 20 {
-		shift = 20 // beyond the clamp anyway; avoid Duration overflow
-	}
-	b := r.cfg.NAKRetry << shift
-	if b <= 0 || b > r.cfg.NAKRetryMax {
-		b = r.cfg.NAKRetryMax
-	}
-	return b/2 + time.Duration(r.rng.Int63n(int64(b)))
+func (r *Receiver) takeFlushLocked() rxFlush {
+	f := rxFlush{r.pendMsgs, r.pendGaps, r.pendNAKs, r.pendSends}
+	r.pendMsgs, r.pendGaps, r.pendNAKs, r.pendSends = nil, nil, nil, nil
+	return f
 }
 
-// nakLoop periodically fires due NAKs. A production implementation would
-// use per-stream timers; a 1 ms sweep is ample for the live demo.
-func (r *Receiver) nakLoop() {
-	defer r.wg.Done()
-	tick := time.NewTicker(time.Millisecond)
-	defer tick.Stop()
-	for t := range tick.C {
-		r.mu.Lock()
-		if r.closed {
-			r.mu.Unlock()
-			return
-		}
-		type sendReq struct {
-			dst    wire.Addr
-			packet []byte
-		}
-		type gap struct {
-			exp wire.ExperimentID
-			seq uint64
-		}
-		var sends []sendReq
-		var gaps []gap
-		for exp, st := range r.streams {
-			var due []uint64
-			for seq, m := range st.missing {
-				if m.nextNAK.After(t) {
-					continue
-				}
-				if m.naks >= r.cfg.MaxNAKs {
-					// Retry cap: write the gap off as permanent loss so
-					// the floor advances and delivery degrades to
-					// deliver-with-gap instead of NAKing forever.
-					delete(st.missing, seq)
-					st.received[seq] = true
-					r.stats.PermanentLoss++
-					r.Counters.Inc(telemetry.CounterPermanentLoss)
-					gaps = append(gaps, gap{exp, seq})
-					continue
-				}
-				due = append(due, seq)
-				m.naks++
-				m.nextNAK = t.Add(r.retryBackoff(m.naks))
-			}
-			for st.received[st.floor+1] {
-				delete(st.received, st.floor+1)
-				st.floor++
-			}
-			if len(due) == 0 || st.buffer.IsZero() {
-				continue
-			}
-			nak := wire.NAK{Experiment: exp, Requester: r.self, Ranges: seqsToRanges(due)}
-			if data, err := nak.AppendTo(nil); err == nil {
-				sends = append(sends, sendReq{dst: st.buffer, packet: data})
-				r.stats.NAKsSent++
-			}
-		}
-		onGap := r.cfg.OnGap
-		r.mu.Unlock()
-		for _, s := range sends {
-			r.conn.WriteToUDP(s.packet, toUDPAddr(s.dst))
-		}
-		if onGap != nil {
-			for _, g := range gaps {
-				onGap(g.exp, g.seq)
-			}
+// dispatch runs the queued effects without the lock: NAKs/ACKs out first
+// (recovery latency beats delivery callbacks), then application callbacks.
+func (r *Receiver) dispatch(f rxFlush) {
+	for _, s := range f.sends {
+		r.conn.WriteToUDP(s.pkt, toUDPAddr(s.dst))
+	}
+	if r.cfg.OnMessage != nil {
+		for _, m := range f.msgs {
+			r.cfg.OnMessage(m)
 		}
 	}
-}
-
-// seqsToRanges compresses sorted-or-not sequence numbers into ranges.
-func seqsToRanges(seqs []uint64) []wire.SeqRange {
-	for i := 1; i < len(seqs); i++ {
-		for j := i; j > 0 && seqs[j] < seqs[j-1]; j-- {
-			seqs[j], seqs[j-1] = seqs[j-1], seqs[j]
+	if r.cfg.OnGap != nil {
+		for _, g := range f.gaps {
+			r.cfg.OnGap(g.exp, g.seq)
 		}
 	}
-	var out []wire.SeqRange
-	for _, s := range seqs {
-		if n := len(out); n > 0 && s <= out[n-1].To+1 {
-			out[n-1].To = s
-			continue
+	if r.cfg.OnNAK != nil {
+		for _, n := range f.naks {
+			r.cfg.OnNAK(n.exp, n.ranges)
 		}
-		out = append(out, wire.SeqRange{From: s, To: s})
 	}
-	return out
+	// Recycle queue capacity: the steady state flushes one message per
+	// datagram, and re-allocating the slice each time would put an append
+	// on every delivery.
+	r.mu.Lock()
+	if r.pendMsgs == nil && cap(f.msgs) > 0 {
+		r.pendMsgs = f.msgs[:0]
+	}
+	if r.pendSends == nil && cap(f.sends) > 0 {
+		r.pendSends = f.sends[:0]
+	}
+	r.mu.Unlock()
 }
