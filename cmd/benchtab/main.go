@@ -4,6 +4,7 @@
 //	benchtab -exp all
 //	benchtab -exp e3 -messages 1000 -seed 7
 //	benchtab -json > bench.json
+//	benchtab -exp e4 -metrics
 //
 // Experiment IDs follow DESIGN.md: e1 (Table 1), e2 (Fig 2), e3 (Fig 3:
 // loss sweep + alert fan-out + back-pressure), e4 (Fig 4 pilot), e5
@@ -16,6 +17,11 @@
 // parameters plus per-experiment wall time. BENCH_baseline.json at the
 // repo root embeds one such document; see EXPERIMENTS.md for the format
 // and regeneration recipe.
+//
+// With -metrics each experiment additionally reports its metric deltas —
+// the registry (shared packet-pool traffic plus process heap/GC gauges) is
+// snapshotted around each run and the two snapshots are diffed — appended
+// to the text tables and carried in the -json document's metric_deltas.
 package main
 
 import (
@@ -27,7 +33,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dmtp"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 // expTiming is one experiment's entry in the -json document.
@@ -35,6 +43,9 @@ type expTiming struct {
 	ID     string  `json:"id"`
 	Title  string  `json:"title"`
 	WallMs float64 `json:"wall_ms"`
+	// MetricDeltas holds after−before registry samples for this
+	// experiment (only with -metrics).
+	MetricDeltas []metrics.Sample `json:"metric_deltas,omitempty"`
 }
 
 // benchDoc is the -json output document.
@@ -50,7 +61,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	messages := flag.Int("messages", 1000, "messages per run")
 	jsonOut := flag.Bool("json", false, "suppress tables; emit a benchtab/v1 JSON benchmark document")
+	withMetrics := flag.Bool("metrics", false, "report per-experiment metric deltas (pool traffic, heap, GC)")
 	flag.Parse()
+
+	var reg *metrics.Registry
+	if *withMetrics {
+		reg = metrics.NewRegistry()
+		dmtp.RegisterPoolMetrics(reg)
+		metrics.RegisterProcessMetrics(reg)
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exp, ",") {
@@ -71,12 +90,26 @@ func main() {
 		}
 		ran++
 		fmt.Fprintf(out, "=== %s — %s ===\n", strings.ToUpper(id), title)
+		var before []metrics.Sample
+		if reg != nil {
+			before = reg.Snapshot()
+		}
 		start := time.Now()
 		run(out)
-		timings = append(timings, expTiming{
+		t := expTiming{
 			ID: id, Title: title,
 			WallMs: float64(time.Since(start).Microseconds()) / 1000,
-		})
+		}
+		if reg != nil {
+			t.MetricDeltas = metrics.Diff(before, reg.Snapshot())
+			if len(t.MetricDeltas) > 0 {
+				fmt.Fprintln(out, "-- metric deltas --")
+				for _, d := range t.MetricDeltas {
+					fmt.Fprintf(out, "%-24s %+d\n", d.Name, d.Value)
+				}
+			}
+		}
+		timings = append(timings, t)
 		fmt.Fprintln(out)
 	}
 

@@ -2,7 +2,7 @@
 // recovery from the relay's buffer, the destination timeliness check, and
 // delivery accounting.
 //
-//	dmtp-recv -listen 127.0.0.1:17581
+//	dmtp-recv -listen 127.0.0.1:17581 -debug-addr 127.0.0.1:8003
 package main
 
 import (
@@ -12,16 +12,24 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/debugsrv"
 	"repro/internal/live"
+	"repro/internal/metrics"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:17581", "UDP listen address")
 	verbose := flag.Bool("v", false, "log each message")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address (off when empty)")
 	flag.Parse()
 
+	var rec *metrics.FlightRecorder
+	if *debugAddr != "" {
+		rec = metrics.NewFlightRecorder(0)
+	}
 	recv, err := live.NewReceiver(live.ReceiverConfig{
-		Listen: *listen,
+		Listen:   *listen,
+		Recorder: rec,
 		OnMessage: func(m live.Message) {
 			if *verbose {
 				fmt.Printf("%v seq %d: %d bytes, latency %v, aged=%v late=%v recovered=%v\n",
@@ -35,6 +43,20 @@ func main() {
 	}
 	defer recv.Close()
 	fmt.Printf("dmtp-recv: listening on %s\n", recv.Addr())
+
+	if *debugAddr != "" {
+		reg := metrics.NewRegistry()
+		recv.RegisterMetrics(reg)
+		metrics.RegisterProcessMetrics(reg)
+		metrics.RegisterFlightMetrics(reg, rec)
+		dbg, err := debugsrv.New(debugsrv.Config{Addr: *debugAddr, Registry: reg, Recorder: rec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtp-recv:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("dmtp-recv: debug endpoint on http://%s\n", dbg.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

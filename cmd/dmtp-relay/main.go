@@ -3,7 +3,7 @@
 // numbers, retransmission-buffer pointer, age budget, origin timestamp),
 // buffers them, forwards to the receiver, and serves NAKs.
 //
-//	dmtp-relay -listen 127.0.0.1:17580 -forward 127.0.0.1:17581 -drop-every 10
+//	dmtp-relay -listen 127.0.0.1:17580 -forward 127.0.0.1:17581 -drop-every 10 -debug-addr 127.0.0.1:8002
 package main
 
 import (
@@ -13,7 +13,9 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/debugsrv"
 	"repro/internal/live"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -22,14 +24,20 @@ func main() {
 	maxAge := flag.Duration("max-age", 500*time.Millisecond, "age budget")
 	deadline := flag.Duration("deadline", time.Second, "delivery budget")
 	dropEvery := flag.Int("drop-every", 0, "drop every Nth data packet (fault injection)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address (off when empty)")
 	flag.Parse()
 
+	var rec *metrics.FlightRecorder
+	if *debugAddr != "" {
+		rec = metrics.NewFlightRecorder(0)
+	}
 	relay, err := live.NewRelay(live.RelayConfig{
 		Listen:         *listen,
 		Forward:        *forward,
 		MaxAge:         *maxAge,
 		DeadlineBudget: *deadline,
 		DropEveryN:     *dropEvery,
+		Recorder:       rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
@@ -37,6 +45,20 @@ func main() {
 	}
 	defer relay.Close()
 	fmt.Printf("dmtp-relay: %s → %s (buffer at %v)\n", relay.Addr(), *forward, relay.WireAddr())
+
+	if *debugAddr != "" {
+		reg := metrics.NewRegistry()
+		relay.RegisterMetrics(reg)
+		metrics.RegisterProcessMetrics(reg)
+		metrics.RegisterFlightMetrics(reg, rec)
+		dbg, err := debugsrv.New(debugsrv.Config{Addr: *debugAddr, Registry: reg, Recorder: rec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("dmtp-relay: debug endpoint on http://%s\n", dbg.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

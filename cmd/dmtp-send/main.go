@@ -1,7 +1,7 @@
 // Command dmtp-send streams a synthetic DAQ workload as mode-0 DMTP
 // datagrams toward a relay — the live-path instrument source.
 //
-//	dmtp-send -to 127.0.0.1:17580 -n 1000 -rate 5000
+//	dmtp-send -to 127.0.0.1:17580 -n 1000 -rate 5000 -debug-addr 127.0.0.1:8001
 package main
 
 import (
@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"repro/internal/daq"
+	"repro/internal/debugsrv"
 	"repro/internal/live"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -21,14 +23,37 @@ func main() {
 	slice := flag.Uint("slice", 0, "instrument slice")
 	size := flag.Int("size", 7680, "message payload bytes")
 	rate := flag.Float64("rate", 1000, "messages per second")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address (off when empty)")
 	flag.Parse()
 
-	snd, err := live.NewSender(*to, uint32(*experiment))
+	var rec *metrics.FlightRecorder
+	if *debugAddr != "" {
+		rec = metrics.NewFlightRecorder(0)
+	}
+	snd, err := live.NewSenderWithConfig(live.SenderConfig{
+		Dst:        *to,
+		Experiment: uint32(*experiment),
+		Recorder:   rec,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmtp-send:", err)
 		os.Exit(1)
 	}
 	defer snd.Close()
+
+	if *debugAddr != "" {
+		reg := metrics.NewRegistry()
+		snd.RegisterMetrics(reg)
+		metrics.RegisterProcessMetrics(reg)
+		metrics.RegisterFlightMetrics(reg, rec)
+		dbg, err := debugsrv.New(debugsrv.Config{Addr: *debugAddr, Registry: reg, Recorder: rec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtp-send:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("dmtp-send: debug endpoint on http://%s\n", dbg.Addr())
+	}
 
 	src := daq.NewGeneric(daq.GenericConfig{
 		Slice:       uint8(*slice),

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/dmtp"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/wire"
 )
@@ -48,6 +50,10 @@ type BufferConfig struct {
 	// (lower RTT) retransmission buffer" (§1, §5.1): downstream receivers
 	// then recover from this closer node instead of the WAN entrance.
 	StashTransit bool
+	// Recorder, when non-nil, receives flight-recorder events (reshape
+	// plus the buffer engine's nak-served / nak-miss / evict / trim /
+	// crash / restart) stamped with virtual time. Nil disables recording.
+	Recorder *metrics.FlightRecorder
 }
 
 // BufferStats are cumulative buffer-node counters: the engine's stash,
@@ -71,6 +77,9 @@ type BufferNode struct {
 	node *netsim.Node
 	nw   *netsim.Network
 	eng  *dmtp.BufferEngine
+	// reshapeC counts reshapes into the node's upgrade config; installed
+	// by RegisterMetrics, nil (and skipped) until then.
+	reshapeC *metrics.Counter
 
 	Stats BufferStats
 }
@@ -91,7 +100,12 @@ func NewBufferHandler(nw *netsim.Network, cfg BufferConfig) *BufferNode {
 	// stash entries before framing them (the engine keeps ownership).
 	b.eng = dmtp.NewBufferEngine(
 		nodeDatapath{node: func() *netsim.Node { return b.node }, nw: nw, port: cfg.ForwardPort},
-		dmtp.BufferConfig{CapacityBytes: cfg.CapacityBytes, Stats: &b.Stats.BufferStats},
+		dmtp.BufferConfig{
+			CapacityBytes: cfg.CapacityBytes,
+			Stats:         &b.Stats.BufferStats,
+			Recorder:      cfg.Recorder,
+			Clock:         loopClock{nw},
+		},
 	)
 	return b
 }
@@ -104,6 +118,24 @@ func (b *BufferNode) Addr() wire.Addr { return b.node.Addr }
 
 // BufferedBytes returns current buffer occupancy.
 func (b *BufferNode) BufferedBytes() int { return b.eng.BufferedBytes() }
+
+// RegisterMetrics publishes the node's metric set on reg: the engine's
+// dmtp.buf.* counters (via the shared helper, so names match the live
+// relay), the adapter's dmtp.relay.* forwarding counters, and the
+// reshape-family counter for the node's upgrade config. The simulator loop
+// is single-threaded: sample the registry from loop context or after the
+// run has drained.
+func (b *BufferNode) RegisterMetrics(reg *metrics.Registry) {
+	dmtp.RegisterBufferMetrics(reg,
+		func() dmtp.BufferStats { return b.Stats.BufferStats },
+		b.BufferedBytes)
+	reg.RegisterFunc(metrics.MetricRelayUpgraded, func() int64 { return int64(b.Stats.Upgraded) })
+	reg.RegisterFunc(metrics.MetricRelayForwarded, func() int64 { return int64(b.Stats.Forwarded) })
+	reg.RegisterFunc(metrics.MetricRelayRepointed, func() int64 { return int64(b.Stats.Repointed) })
+	reg.RegisterFunc(metrics.MetricRelayDroppedDown, func() int64 { return int64(b.Stats.DroppedDown) })
+	b.reshapeC = reg.Counter(fmt.Sprintf("%s%d", metrics.MetricRelayReshapePrefix, b.cfg.Upgrade.ConfigID))
+	dmtp.RegisterPoolMetrics(reg)
+}
 
 // Attach implements netsim.Handler.
 func (b *BufferNode) Attach(n *netsim.Node) { b.node = n }
@@ -180,6 +212,11 @@ func (b *BufferNode) upgradeAndForward(v wire.View) {
 		b.cfg.Cipher.Seal(b.cfg.KeyEpoch, nonce, up.Payload())
 	}
 	b.Stats.Upgraded++
+	if b.reshapeC != nil {
+		b.reshapeC.Inc()
+	}
+	b.cfg.Recorder.RecordAt(int64(b.nw.Now()), metrics.EvReshape,
+		uint64(exp), seq, uint64(b.cfg.Upgrade.ConfigID))
 	if feats.Has(wire.FeatSequenced) {
 		// Stash an independent copy: downstream elements mutate headers
 		// in flight, and the buffer must retransmit the packet as it

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/dmtp"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
@@ -55,6 +56,9 @@ type ReceiverConfig struct {
 	// not for imposing a bytestream order (Req 7, paper §4.1 on
 	// head-of-line blocking).
 	OnMessage func(m Message)
+	// Recorder, when non-nil, receives the engine's flight-recorder
+	// events stamped with virtual time. Nil disables flight recording.
+	Recorder *metrics.FlightRecorder
 }
 
 // Message is one delivered DAQ message with transport-level metadata.
@@ -136,6 +140,7 @@ func NewReceiverHandler(nw *netsim.Network, cfg ReceiverConfig) *Receiver {
 			LatencyHist:     r.LatencyHist,
 			RecoveryHist:    r.RecoveryHist,
 			OrderedHOL:      r.OrderedHOL,
+			Recorder:        cfg.Recorder,
 		})
 	return r
 }
@@ -155,6 +160,18 @@ func (r *Receiver) Attach(n *netsim.Node) {
 // OutstandingGaps returns the number of sequence numbers currently awaiting
 // recovery across all streams.
 func (r *Receiver) OutstandingGaps() int { return r.eng.OutstandingGaps() }
+
+// RegisterMetrics publishes the receiver's dmtp.rx.* metric set on reg via
+// the shared helpers, so a simulator receiver exports exactly the names a
+// live daemon does. The simulator loop is single-threaded: sample the
+// registry from loop context or after the run has drained.
+func (r *Receiver) RegisterMetrics(reg *metrics.Registry) {
+	dmtp.RegisterReceiverMetrics(reg, func() dmtp.ReceiverStats { return r.Stats })
+	dmtp.RegisterReceiverGauges(reg, r.OutstandingGaps, func() (int64, int64) {
+		return r.LatencyHist.Quantile(0.5), r.LatencyHist.Quantile(0.99)
+	})
+	dmtp.RegisterPoolMetrics(reg)
+}
 
 // HandleFrame implements netsim.Handler.
 func (r *Receiver) HandleFrame(_ *netsim.Port, f *netsim.Frame) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/daq"
 	"repro/internal/dmtp"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -36,6 +37,9 @@ type SenderConfig struct {
 	// RecoverInterval is how often a back-pressured sender doubles its
 	// rate back toward unpaced; zero means 10 ms.
 	RecoverInterval time.Duration
+	// Recorder, when non-nil, receives back-pressure flight-recorder
+	// events stamped with virtual time. Nil disables recording.
+	Recorder *metrics.FlightRecorder
 }
 
 // SenderStats are cumulative sender counters.
@@ -102,6 +106,20 @@ func (s *Sender) Node() *netsim.Node { return s.node }
 // Meter returns the sender's emission meter.
 func (s *Sender) Meter() telemetry.Meter { return s.meter }
 
+// RegisterMetrics publishes the sender's dmtp.tx.* counters on reg, so a
+// simulator sender exports the same names a live one does (the live-only
+// socket counters simply stay absent). The simulator loop is
+// single-threaded: sample the registry from loop context or after the run
+// has drained.
+func (s *Sender) RegisterMetrics(reg *metrics.Registry) {
+	reg.RegisterFunc(metrics.MetricTxSent, func() int64 { return int64(s.Stats.Sent) })
+	reg.RegisterFunc(metrics.MetricTxSentBytes, func() int64 { return int64(s.Stats.SentBytes) })
+	reg.RegisterFunc(metrics.MetricTxQueued, func() int64 { return int64(s.Stats.Queued) })
+	reg.RegisterFunc(metrics.MetricTxBackPressure, func() int64 { return int64(s.Stats.BackPressure) })
+	reg.RegisterFunc(metrics.MetricTxDeadlineMisses, func() int64 { return int64(s.Stats.DeadlineMiss) })
+	dmtp.RegisterPoolMetrics(reg)
+}
+
 // Attach implements netsim.Handler.
 func (s *Sender) Attach(n *netsim.Node) {
 	s.node = n
@@ -123,6 +141,8 @@ func (s *Sender) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
 			return
 		}
 		s.Stats.BackPressure++
+		s.cfg.Recorder.RecordAt(int64(s.nw.Now()), metrics.EvBackPressure,
+			uint64(sig.Experiment), 0, uint64(sig.Level))
 		s.pacer.ApplyBackPressure(sig)
 	case wire.ConfigDeadlineExceeded:
 		if _, err := wire.DecodeDeadlineExceeded(f.Data); err == nil {

@@ -1,0 +1,137 @@
+// Package debugsrv serves the live daemons' opt-in /debug endpoints: the
+// metric registry as text or JSON, the flight recorder's recent protocol
+// events, a health probe, and net/http/pprof — everything an operator
+// needs to answer "why is this flow stalled" without restarting a daemon.
+//
+// The server is opt-in (the cmd/dmtp-* daemons pass -debug-addr) and
+// off-datapath: scraping samples the registry's func gauges under the
+// publishers' own locks, and costs the datapath nothing when nobody is
+// scraping. The server's own traffic is itself observable via the
+// debug.http_requests counter and the debug.scrape_ns histogram.
+//
+// Endpoints:
+//
+//	/metrics         text form, one metric per line ("name value")
+//	/metrics?format=json  JSON array of samples
+//	/events          flight-recorder dump, oldest first, one line per event
+//	/events?format=json   JSON array of events
+//	/healthz         200 "ok" (liveness probe)
+//	/debug/pprof/    the standard net/http/pprof handlers
+//
+// See OBSERVABILITY.md for the metric catalogue, the event schema, and
+// curl examples.
+package debugsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Config configures a debug server.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:8001". The daemons
+	// leave the server off unless -debug-addr is given.
+	Addr string
+	// Registry is the metric registry to expose; required.
+	Registry *metrics.Registry
+	// Recorder backs /events. Nil serves an empty event list.
+	Recorder *metrics.FlightRecorder
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	cfg      Config
+	ln       net.Listener
+	srv      *http.Server
+	requests *metrics.Counter
+	scrapeNs *metrics.Histogram
+}
+
+// New binds the debug listener and starts serving. The returned server's
+// Addr reports the concrete bound address (useful with port 0 in tests).
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("debugsrv: Config.Registry is required")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugsrv: listen %q: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		requests: cfg.Registry.Counter(metrics.MetricDebugRequests),
+		scrapeNs: cfg.Registry.Histogram(metrics.MetricDebugScrapeNs),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's bound address ("host:port").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	start := time.Now()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		s.cfg.Registry.WriteJSON(w)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.cfg.Registry.WriteText(w)
+	}
+	s.scrapeNs.ObserveDuration(time.Since(start))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	start := time.Now()
+	events := s.cfg.Recorder.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		writeEventsJSON(w, events)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, ev := range events {
+			fmt.Fprintln(w, ev.String())
+		}
+	}
+	s.scrapeNs.ObserveDuration(time.Since(start))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.requests.Inc()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// writeEventsJSON renders events as an indented JSON array ([] when empty,
+// never null, so scripted consumers can iterate unconditionally).
+func writeEventsJSON(w io.Writer, events []metrics.Event) {
+	if events == nil {
+		events = []metrics.Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(events)
+}

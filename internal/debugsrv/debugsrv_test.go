@@ -1,0 +1,310 @@
+package debugsrv_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/debugsrv"
+	"repro/internal/live"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// waitFor polls cond up to timeout.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// get fetches one debug URL and returns the body.
+func get(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return string(body)
+}
+
+// scrape parses /metrics text output into name → value. Histogram lines
+// ("name count=N mean=…") report their observation count.
+func scrape(t *testing.T, addr string) map[string]int64 {
+	t.Helper()
+	out := map[string]int64{}
+	for _, line := range strings.Split(get(t, addr, "/metrics"), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		val := fields[1]
+		if cnt, ok := strings.CutPrefix(val, "count="); ok {
+			val = cnt
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q: %v", line, err)
+		}
+		out[fields[0]] = n
+	}
+	return out
+}
+
+// TestDebugEndpointsLiveLoopback is the acceptance scenario: the live
+// sender→relay→receiver pipeline on loopback with scripted egress drops,
+// a debug endpoint per role, and the loss/NAK/retransmit counters
+// observed over HTTP on all three.
+func TestDebugEndpointsLiveLoopback(t *testing.T) {
+	relayRec := metrics.NewFlightRecorder(1024)
+	recvRec := metrics.NewFlightRecorder(1024)
+
+	recv, err := live.NewReceiver(live.ReceiverConfig{
+		Listen:   "127.0.0.1:0",
+		NAKDelay: time.Millisecond,
+		NAKRetry: 10 * time.Millisecond,
+		MaxNAKs:  10,
+		Recorder: recvRec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	relay, err := live.NewRelay(live.RelayConfig{
+		Listen:         "127.0.0.1:0",
+		Forward:        recv.Addr(),
+		MaxAge:         5 * time.Second,
+		DeadlineBudget: 10 * time.Second,
+		DropEveryN:     5,
+		Recorder:       relayRec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	snd, err := live.NewSenderWithConfig(live.SenderConfig{
+		Dst:        relay.Addr(),
+		Experiment: 777,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+
+	// One registry + debug server per role, exactly as the daemons wire it.
+	serve := func(reg *metrics.Registry, rec *metrics.FlightRecorder) string {
+		t.Helper()
+		metrics.RegisterProcessMetrics(reg)
+		metrics.RegisterFlightMetrics(reg, rec)
+		srv, err := debugsrv.New(debugsrv.Config{Addr: "127.0.0.1:0", Registry: reg, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return srv.Addr()
+	}
+	sndReg, relayReg, recvReg := metrics.NewRegistry(), metrics.NewRegistry(), metrics.NewRegistry()
+	snd.RegisterMetrics(sndReg)
+	relay.RegisterMetrics(relayReg)
+	recv.RegisterMetrics(recvReg)
+	sndAddr := serve(sndReg, nil)
+	relayAddr := serve(relayReg, relayRec)
+	recvAddr := serve(recvReg, recvRec)
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := snd.Send([]byte(fmt.Sprintf("payload-%04d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+		if i%25 == 24 {
+			time.Sleep(time.Millisecond) // mode 0 is unreliable; don't outrun loopback
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		st := recv.Stats()
+		return st.Delivered+st.PermanentLoss >= n-1 && recv.OutstandingGaps() == 0
+	}, "recovery")
+
+	sm, rm, cm := scrape(t, sndAddr), scrape(t, relayAddr), scrape(t, recvAddr)
+
+	if sm[metrics.MetricTxSent] != n {
+		t.Errorf("sender /metrics %s = %d, want %d", metrics.MetricTxSent, sm[metrics.MetricTxSent], n)
+	}
+	for _, name := range []string{
+		metrics.MetricRelayInjectedDrops,
+		metrics.MetricBufNAKsServed,
+		metrics.MetricBufRetransmits,
+		metrics.MetricRelayReshapePrefix + "1",
+	} {
+		if rm[name] == 0 {
+			t.Errorf("relay /metrics %s = 0, want nonzero", name)
+		}
+	}
+	for _, name := range []string{
+		metrics.MetricRxGapsDetected,
+		metrics.MetricRxNAKsSent,
+		metrics.MetricRxRecovered,
+	} {
+		if cm[name] == 0 {
+			t.Errorf("receiver /metrics %s = 0, want nonzero", name)
+		}
+	}
+	// Loss accounting must agree across roles: everything the relay
+	// dropped was either recovered or written off at the receiver.
+	if got := cm[metrics.MetricRxRecovered] + cm[metrics.MetricRxWriteOffs]; got < rm[metrics.MetricRelayInjectedDrops]-1 {
+		t.Errorf("recovered+write_offs = %d < injected drops %d", got, rm[metrics.MetricRelayInjectedDrops])
+	}
+
+	// Every exported name is catalogued (and therefore documented).
+	for role, m := range map[string]map[string]int64{"sender": sm, "relay": rm, "receiver": cm} {
+		for name := range m {
+			if !metrics.CatalogCovers(name) {
+				t.Errorf("%s exports uncatalogued metric %q", role, name)
+			}
+		}
+	}
+
+	// The flight recorders saw the protocol's decisions.
+	relayEvents := get(t, relayAddr, "/events")
+	for _, kind := range []string{"reshape", "injected-drop", "nak-served"} {
+		if !strings.Contains(relayEvents, kind) {
+			t.Errorf("relay /events missing %q:\n%.400s", kind, relayEvents)
+		}
+	}
+	recvEvents := get(t, recvAddr, "/events")
+	for _, kind := range []string{"gap-detected", "nak-sent", "recovered"} {
+		if !strings.Contains(recvEvents, kind) {
+			t.Errorf("receiver /events missing %q:\n%.400s", kind, recvEvents)
+		}
+	}
+
+	// JSON forms parse and carry the same data.
+	var samples []metrics.Sample
+	if err := json.Unmarshal([]byte(get(t, recvAddr, "/metrics?format=json")), &samples); err != nil {
+		t.Fatalf("/metrics?format=json: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Error("/metrics?format=json returned no samples")
+	}
+	var events []metrics.Event
+	if err := json.Unmarshal([]byte(get(t, recvAddr, "/events?format=json")), &events); err != nil {
+		t.Fatalf("/events?format=json: %v", err)
+	}
+	if len(events) == 0 || events[0].KindName == "" {
+		t.Errorf("/events?format=json events lack kind names: %+v", events[:min(3, len(events))])
+	}
+
+	if body := get(t, recvAddr, "/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+	// The endpoint meters itself; by now we've scraped it several times.
+	if m := scrape(t, recvAddr); m[metrics.MetricDebugRequests] == 0 || m[metrics.MetricDebugScrapeNs] == 0 {
+		t.Errorf("debug self-metrics missing: requests=%d scrapes=%d",
+			m[metrics.MetricDebugRequests], m[metrics.MetricDebugScrapeNs])
+	}
+}
+
+// TestDebugEventsEmptyAndNilRecorder covers the degenerate /events forms.
+func TestDebugEventsEmptyAndNilRecorder(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv, err := debugsrv.New(debugsrv.Config{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if body := get(t, srv.Addr(), "/events"); body != "" {
+		t.Errorf("/events with no recorder = %q, want empty", body)
+	}
+	if body := strings.TrimSpace(get(t, srv.Addr(), "/events?format=json")); body != "[]" {
+		t.Errorf("/events?format=json with no recorder = %q, want []", body)
+	}
+}
+
+func TestDebugNewRequiresRegistry(t *testing.T) {
+	if _, err := debugsrv.New(debugsrv.Config{Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("New without a Registry should fail")
+	}
+}
+
+// TestSimLiveMetricNameParity pins the tentpole's name-parity claim: the
+// simulator adapters and the live adapters export identical dmtp.rx.* and
+// dmtp.buf.* name sets, because both register through the shared helpers
+// in internal/dmtp.
+func TestSimLiveMetricNameParity(t *testing.T) {
+	namesWith := func(reg *metrics.Registry, prefix string) []string {
+		var out []string
+		for _, n := range reg.Names() {
+			if strings.HasPrefix(n, prefix) {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+
+	// Simulator substrate.
+	nw := netsim.New(1)
+	simRecv := core.NewReceiver(nw, "recv", wire.AddrFrom(10, 0, 2, 1, 7000), core.ReceiverConfig{})
+	simBuf := core.NewBufferNode(nw, "dtn", wire.AddrFrom(10, 0, 1, 1, 7000), core.BufferConfig{
+		UpgradeFrom: core.ModeBare.ConfigID,
+		Upgrade:     core.ModeWAN,
+		Forward:     wire.AddrFrom(10, 0, 2, 1, 7000),
+		MaxAge:      time.Hour,
+	})
+	simRecvReg, simBufReg := metrics.NewRegistry(), metrics.NewRegistry()
+	simRecv.RegisterMetrics(simRecvReg)
+	simBuf.RegisterMetrics(simBufReg)
+
+	// Live substrate.
+	liveRecv, err := live.NewReceiver(live.ReceiverConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer liveRecv.Close()
+	liveRelay, err := live.NewRelay(live.RelayConfig{
+		Listen: "127.0.0.1:0", Forward: liveRecv.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer liveRelay.Close()
+	liveRecvReg, liveRelayReg := metrics.NewRegistry(), metrics.NewRegistry()
+	liveRecv.RegisterMetrics(liveRecvReg)
+	liveRelay.RegisterMetrics(liveRelayReg)
+
+	for _, tc := range []struct {
+		prefix   string
+		sim, lve *metrics.Registry
+	}{
+		{"dmtp.rx.", simRecvReg, liveRecvReg},
+		{"dmtp.buf.", simBufReg, liveRelayReg},
+	} {
+		s, l := namesWith(tc.sim, tc.prefix), namesWith(tc.lve, tc.prefix)
+		if len(s) == 0 {
+			t.Errorf("no %s* metrics on the simulator registry", tc.prefix)
+		}
+		if strings.Join(s, ",") != strings.Join(l, ",") {
+			t.Errorf("%s* name sets differ:\n  sim:  %v\n  live: %v", tc.prefix, s, l)
+		}
+	}
+}

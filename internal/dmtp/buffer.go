@@ -3,6 +3,7 @@ package dmtp
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -32,6 +33,14 @@ type BufferConfig struct {
 	// Stats, when non-nil, is where the engine counts; adapters expose
 	// it as part of their own stats. Nil allocates a private struct.
 	Stats *BufferStats
+	// Recorder, when non-nil, receives flight-recorder events (nak-served,
+	// nak-miss, evict, trim, crash, restart) stamped with Clock. Recording
+	// is lock- and allocation-free; nil disables it entirely.
+	Recorder *metrics.FlightRecorder
+	// Clock stamps Recorder events. Nil defaults to WallClock; the
+	// simulator adapter passes its virtual clock so event timestamps align
+	// with the trace.
+	Clock Clock
 }
 
 type bufKey struct {
@@ -60,6 +69,9 @@ type BufferEngine struct {
 func NewBufferEngine(dp Datapath, cfg BufferConfig) *BufferEngine {
 	if cfg.CapacityBytes == 0 {
 		cfg.CapacityBytes = 64 << 20
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock{}
 	}
 	stats := cfg.Stats
 	if stats == nil {
@@ -97,6 +109,9 @@ func (b *BufferEngine) Crash() {
 	}
 	b.down = true
 	b.stats.Crashes++
+	if b.cfg.Recorder != nil {
+		b.cfg.Recorder.RecordAt(b.cfg.Clock.Now(), metrics.EvCrash, 0, 0, uint64(b.bytes))
+	}
 	if b.cfg.Release != nil {
 		for _, pkt := range b.store {
 			b.cfg.Release(pkt)
@@ -108,7 +123,12 @@ func (b *BufferEngine) Crash() {
 }
 
 // Restart brings a crashed engine back into service with a cold buffer.
-func (b *BufferEngine) Restart() { b.down = false }
+func (b *BufferEngine) Restart() {
+	b.down = false
+	if b.cfg.Recorder != nil {
+		b.cfg.Recorder.RecordAt(b.cfg.Clock.Now(), metrics.EvRestart, 0, 0, 0)
+	}
+}
 
 // Down reports whether the engine is crashed.
 func (b *BufferEngine) Down() bool { return b.down }
@@ -129,6 +149,10 @@ func (b *BufferEngine) Stash(exp wire.ExperimentID, seq uint64, pkt []byte) {
 				b.cfg.Release(old)
 			}
 			b.stats.Evicted++
+			if b.cfg.Recorder != nil {
+				b.cfg.Recorder.RecordAt(b.cfg.Clock.Now(), metrics.EvEvict,
+					uint64(oldest.exp), oldest.seq, uint64(len(old)))
+			}
 		}
 	}
 	k := bufKey{exp, seq}
@@ -144,17 +168,29 @@ func (b *BufferEngine) Stash(exp wire.ExperimentID, seq uint64, pkt []byte) {
 // entries (Datapath.SendData contract).
 func (b *BufferEngine) ServeNAK(nak *wire.NAK) {
 	b.stats.NAKs++
+	var served, missed uint64
 	for _, r := range nak.Ranges {
 		for seq := r.From; seq <= r.To && r.To >= r.From; seq++ {
 			if pkt, ok := b.store[bufKey{nak.Experiment, seq}]; ok {
 				b.dp.SendData(nak.Requester, pkt)
 				b.stats.Retransmits++
+				served++
 			} else {
 				b.stats.Misses++
+				missed++
 			}
 			if seq == r.To { // avoid uint64 wrap on To == MaxUint64
 				break
 			}
+		}
+	}
+	if b.cfg.Recorder != nil && len(nak.Ranges) > 0 {
+		now := b.cfg.Clock.Now()
+		b.cfg.Recorder.RecordAt(now, metrics.EvNAKServed,
+			uint64(nak.Experiment), nak.Ranges[0].From, served)
+		if missed > 0 {
+			b.cfg.Recorder.RecordAt(now, metrics.EvNAKMiss,
+				uint64(nak.Experiment), nak.Ranges[0].From, missed)
 		}
 	}
 }
@@ -162,6 +198,7 @@ func (b *BufferEngine) ServeNAK(nak *wire.NAK) {
 // Trim drops buffered packets up to and including cum, releasing them.
 func (b *BufferEngine) Trim(exp wire.ExperimentID, cum uint64) {
 	kept := b.order[:0]
+	var released uint64
 	for _, k := range b.order {
 		if k.exp == exp && k.seq <= cum {
 			if old, ok := b.store[k]; ok {
@@ -171,12 +208,16 @@ func (b *BufferEngine) Trim(exp wire.ExperimentID, cum uint64) {
 					b.cfg.Release(old)
 				}
 				b.stats.Trimmed++
+				released++
 			}
 			continue
 		}
 		kept = append(kept, k)
 	}
 	b.order = kept
+	if released > 0 && b.cfg.Recorder != nil {
+		b.cfg.Recorder.RecordAt(b.cfg.Clock.Now(), metrics.EvTrim, uint64(exp), cum, released)
+	}
 }
 
 // Upgrade describes the header fields a buffering element stamps into a

@@ -1,0 +1,67 @@
+package dmtp
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// This file holds the shared metric-registration helpers. Both substrate
+// adapters (internal/core for the simulator, internal/live for UDP) publish
+// their engine counters through these functions, which use only the
+// canonical name constants from internal/metrics — so a simulator run and a
+// live daemon export identical metric names by construction.
+//
+// All helpers register sampled func gauges: the adapter supplies a snapshot
+// closure that is invoked only when the registry is scraped, so the
+// steady-state datapath cost of registration is zero.
+
+// RegisterReceiverMetrics publishes the dmtp.rx.* counter set on reg,
+// sampling snap at scrape time. snap must be safe to call from the scrape
+// goroutine (adapters typically wrap Stats() in their own lock).
+func RegisterReceiverMetrics(reg *metrics.Registry, snap func() ReceiverStats) {
+	reg.RegisterFunc(metrics.MetricRxReceived, func() int64 { return int64(snap().Received) })
+	reg.RegisterFunc(metrics.MetricRxBytes, func() int64 { return int64(snap().Bytes) })
+	reg.RegisterFunc(metrics.MetricRxDelivered, func() int64 { return int64(snap().Delivered) })
+	reg.RegisterFunc(metrics.MetricRxDuplicates, func() int64 { return int64(snap().Duplicates) })
+	reg.RegisterFunc(metrics.MetricRxGapsDetected, func() int64 { return int64(snap().GapsSeen) })
+	reg.RegisterFunc(metrics.MetricRxNAKsSent, func() int64 { return int64(snap().NAKsSent) })
+	reg.RegisterFunc(metrics.MetricRxRecovered, func() int64 { return int64(snap().Recovered) })
+	reg.RegisterFunc(metrics.MetricRxWriteOffs, func() int64 { return int64(snap().Lost) })
+	reg.RegisterFunc(metrics.MetricRxAged, func() int64 { return int64(snap().Aged) })
+	reg.RegisterFunc(metrics.MetricRxLate, func() int64 { return int64(snap().Late) })
+	reg.RegisterFunc(metrics.MetricRxUnsequenced, func() int64 { return int64(snap().Unsequenced) })
+}
+
+// RegisterReceiverGauges publishes the receiver's instantaneous gauges:
+// outstanding gaps and latency quantiles. latency may return (0, 0) when no
+// latency histogram is wired; gaps and latency are sampled at scrape time
+// under the adapter's lock.
+func RegisterReceiverGauges(reg *metrics.Registry, gaps func() int, latency func() (p50, p99 int64)) {
+	reg.RegisterFunc(metrics.MetricRxOutstandingGaps, func() int64 { return int64(gaps()) })
+	reg.RegisterFunc(metrics.MetricRxLatencyP50, func() int64 { p50, _ := latency(); return p50 })
+	reg.RegisterFunc(metrics.MetricRxLatencyP99, func() int64 { _, p99 := latency(); return p99 })
+}
+
+// RegisterBufferMetrics publishes the dmtp.buf.* counter set on reg,
+// sampling snap (cumulative counters) and occupancy (current buffered
+// bytes) at scrape time.
+func RegisterBufferMetrics(reg *metrics.Registry, snap func() BufferStats, occupancy func() int) {
+	reg.RegisterFunc(metrics.MetricBufStashed, func() int64 { return int64(snap().Buffered) })
+	reg.RegisterFunc(metrics.MetricBufStashedBytes, func() int64 { return int64(snap().BufferedBytes) })
+	reg.RegisterFunc(metrics.MetricBufEvicted, func() int64 { return int64(snap().Evicted) })
+	reg.RegisterFunc(metrics.MetricBufTrimmed, func() int64 { return int64(snap().Trimmed) })
+	reg.RegisterFunc(metrics.MetricBufNAKsServed, func() int64 { return int64(snap().NAKs) })
+	reg.RegisterFunc(metrics.MetricBufRetransmits, func() int64 { return int64(snap().Retransmits) })
+	reg.RegisterFunc(metrics.MetricBufNAKMisses, func() int64 { return int64(snap().Misses) })
+	reg.RegisterFunc(metrics.MetricBufCrashes, func() int64 { return int64(snap().Crashes) })
+	reg.RegisterFunc(metrics.MetricBufOccupancyBytes, func() int64 { return int64(occupancy()) })
+}
+
+// RegisterPoolMetrics publishes the shared wire.BufferPool traffic counters
+// (wire.pool.*) on reg, sampled from wire.DefaultPoolStats at scrape time.
+func RegisterPoolMetrics(reg *metrics.Registry) {
+	reg.RegisterFunc(metrics.MetricPoolGets, func() int64 { return int64(wire.DefaultPoolStats().Gets) })
+	reg.RegisterFunc(metrics.MetricPoolHits, func() int64 { return int64(wire.DefaultPoolStats().Hits) })
+	reg.RegisterFunc(metrics.MetricPoolMisses, func() int64 { return int64(wire.DefaultPoolStats().Misses()) })
+	reg.RegisterFunc(metrics.MetricPoolOversize, func() int64 { return int64(wire.DefaultPoolStats().Oversize) })
+}

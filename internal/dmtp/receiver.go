@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -93,6 +94,11 @@ type ReceiverConfig struct {
 	LatencyHist  *telemetry.Histogram
 	RecoveryHist *telemetry.Histogram
 	OrderedHOL   *telemetry.Histogram
+	// Recorder, when non-nil, receives flight-recorder events
+	// (gap-detected, nak-sent, recovered, write-off) stamped with the
+	// engine clock. Recording is lock- and allocation-free; nil disables
+	// it entirely.
+	Recorder *metrics.FlightRecorder
 }
 
 type rxMissing struct {
@@ -272,17 +278,26 @@ func (e *ReceiverEngine) Ingest(v wire.View) {
 			msg.Recovered = true
 			e.stats.Recovered++
 			e.cfg.Counters.Inc(telemetry.CounterRecovered)
+			e.cfg.Recorder.RecordAt(now, metrics.EvRecovered, uint64(exp), seq, uint64(m.naks))
 			if e.cfg.RecoveryHist != nil {
 				e.cfg.RecoveryHist.ObserveDuration(time.Duration(now - m.detected))
 			}
 		}
 	}
 	if seq > st.maxSeen {
+		var gapFirst, gapLast uint64
 		for s := st.maxSeen + 1; s < seq; s++ {
 			if s > st.floor+GapFloorBias && !st.received[s] {
 				st.missing[s] = &rxMissing{detected: now, nextNAK: now + int64(e.cfg.NAKDelay)}
 				e.stats.GapsSeen++
+				if gapFirst == 0 {
+					gapFirst = s
+				}
+				gapLast = s
 			}
+		}
+		if gapFirst != 0 {
+			e.cfg.Recorder.RecordAt(now, metrics.EvGapDetected, uint64(exp), gapFirst, gapLast)
 		}
 		st.maxSeen = seq
 	}
@@ -419,6 +434,7 @@ func (e *ReceiverEngine) fireNAKs(st *rxStream) {
 			st.received[seq] = true // write off so the floor advances
 			e.stats.Lost++
 			e.cfg.Counters.Inc(telemetry.CounterPermanentLoss)
+			e.cfg.Recorder.RecordAt(now, metrics.EvWriteOff, uint64(st.exp), seq, uint64(m.naks))
 			if e.cfg.OnGap != nil {
 				e.cfg.OnGap(st.exp, seq)
 			}
@@ -441,6 +457,7 @@ func (e *ReceiverEngine) fireNAKs(st *rxStream) {
 		if data, err := nak.AppendTo(nil); err == nil {
 			e.dp.SendControl(st.buffer, data)
 			e.stats.NAKsSent++
+			e.cfg.Recorder.RecordAt(now, metrics.EvNAKSent, uint64(st.exp), e.due[0], uint64(len(e.due)))
 			if e.cfg.OnNAK != nil {
 				e.cfg.OnNAK(st.exp, nak.Ranges)
 			}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/dmtp"
+	"repro/internal/metrics"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -96,6 +97,9 @@ type SenderConfig struct {
 	Wrap func(UDPConn) UDPConn
 	// Counters, when non-nil, records reconnects for observability.
 	Counters *telemetry.CounterSet
+	// Recorder, when non-nil, receives reconnect events. Nil disables
+	// flight recording.
+	Recorder *metrics.FlightRecorder
 }
 
 func (c SenderConfig) withDefaults() SenderConfig {
@@ -244,6 +248,7 @@ func (s *Sender) Send(msg []byte, slice uint8) error {
 			}
 			s.stats.Reconnects++
 			s.cfg.Counters.Inc(telemetry.CounterReconnect)
+			s.cfg.Recorder.Record(metrics.EvReconnect, 0, 0, uint64(attempt))
 		}
 		// Encode under the lock into the connection's reusable buffer
 		// (the header is ~50 ns to write; re-encoding per attempt is
@@ -309,6 +314,7 @@ func (s *Sender) flushLocked() error {
 		}
 		s.stats.Reconnects++
 		s.cfg.Counters.Inc(telemetry.CounterReconnect)
+		s.cfg.Recorder.Record(metrics.EvReconnect, 0, 0, 0)
 	}
 	s.armDeadlineLocked()
 	for i := 0; i < n; i++ {
@@ -351,6 +357,17 @@ func (s *Sender) Stats() SenderStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// RegisterMetrics publishes the sender's dmtp.tx.* counters on reg as
+// sampled gauges (read under the sender lock only at scrape time), plus the
+// shared packet-pool counters.
+func (s *Sender) RegisterMetrics(reg *metrics.Registry) {
+	snap := s.Stats
+	reg.RegisterFunc(metrics.MetricTxSent, func() int64 { return int64(snap().Sent) })
+	reg.RegisterFunc(metrics.MetricTxSendErrors, func() int64 { return int64(snap().SendErrors) })
+	reg.RegisterFunc(metrics.MetricTxReconnects, func() int64 { return int64(snap().Reconnects) })
+	dmtp.RegisterPoolMetrics(reg)
 }
 
 // LocalAddr returns the sender's bound address.
@@ -405,6 +422,10 @@ type RelayConfig struct {
 	// nil means the wall clock. The conformance suite injects a
 	// dmtp.FakeClock here.
 	Clock dmtp.Clock
+	// Recorder, when non-nil, receives flight-recorder events (reshape,
+	// injected-drop, plus the buffer engine's nak-served / nak-miss /
+	// evict / trim / crash / restart). Nil disables flight recording.
+	Recorder *metrics.FlightRecorder
 }
 
 // RelayStats are cumulative relay counters.
@@ -436,6 +457,9 @@ type Relay struct {
 	eng      *dmtp.BufferEngine
 	engStats dmtp.BufferStats
 	nak      wire.NAK // scratch decode target for handleControl
+	// reshapeC counts reshapes into the relay's output config; installed
+	// by RegisterMetrics, nil (and skipped) until then.
+	reshapeC *metrics.Counter
 	closed   bool
 	wg       sync.WaitGroup
 }
@@ -458,6 +482,8 @@ func NewRelay(cfg RelayConfig) (*Relay, error) {
 		CapacityBytes: cfg.CapacityBytes,
 		Release:       func(b []byte) { releaseBuffer(b) },
 		Stats:         &r.engStats,
+		Recorder:      cfg.Recorder,
+		Clock:         cfg.Clock,
 	})
 	laddr, err := net.ResolveUDPAddr("udp4", cfg.Listen)
 	if err != nil {
@@ -534,6 +560,30 @@ func (r *Relay) BufferedBytes() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.eng.BufferedBytes()
+}
+
+// RegisterMetrics publishes the relay's metric set on reg: the engine's
+// dmtp.buf.* counters (via the shared helper, so names match the simulator),
+// the adapter's dmtp.relay.* forwarding counters, the reshape-family counter
+// for the relay's output config, and the shared packet-pool counters. All
+// sampled values are read under the relay lock only at scrape time.
+func (r *Relay) RegisterMetrics(reg *metrics.Registry) {
+	bufSnap := func() dmtp.BufferStats {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.engStats
+	}
+	dmtp.RegisterBufferMetrics(reg, bufSnap, r.BufferedBytes)
+	snap := r.Stats
+	reg.RegisterFunc(metrics.MetricRelayUpgraded, func() int64 { return int64(snap().Upgraded) })
+	reg.RegisterFunc(metrics.MetricRelayForwarded, func() int64 { return int64(snap().Forwarded) })
+	reg.RegisterFunc(metrics.MetricRelayInjectedDrops, func() int64 { return int64(snap().InjectedDrops) })
+	// The live relay reshapes every mode-0 packet into config 1.
+	c := reg.Counter(metrics.MetricRelayReshapePrefix + "1")
+	r.mu.Lock()
+	r.reshapeC = c
+	r.mu.Unlock()
+	dmtp.RegisterPoolMetrics(reg)
 }
 
 // relayDatapath serves engine output (NAK retransmissions) over the
@@ -661,17 +711,23 @@ func (r *Relay) handle(conn UDPConn, pkt []byte) {
 	}
 	exp := up.Experiment()
 	seq := r.eng.NextSeq(exp)
-	dmtp.StampUpgrade(up, seq, r.clock.Now(), dmtp.Upgrade{
+	now := r.clock.Now()
+	dmtp.StampUpgrade(up, seq, now, dmtp.Upgrade{
 		Self:           r.self,
 		MaxAge:         r.cfg.MaxAge,
 		DeadlineBudget: r.cfg.DeadlineBudget,
 	})
 	r.stats.Upgraded++
+	if r.reshapeC != nil {
+		r.reshapeC.Inc()
+	}
+	r.cfg.Recorder.RecordAt(now, metrics.EvReshape, uint64(exp), seq, uint64(up.ConfigID()))
 	// The stash takes ownership of the pooled buffer; it is released on
 	// eviction, cumulative-ACK trim, or crash.
 	r.eng.Stash(exp, seq, up)
 	if r.cfg.DropEveryN > 0 && seq%uint64(r.cfg.DropEveryN) == 0 {
 		r.stats.InjectedDrops++
+		r.cfg.Recorder.RecordAt(now, metrics.EvInjectedDrop, uint64(exp), seq, 0)
 		return
 	}
 	conn.WriteToUDP(up, r.fwdAddr)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dmtp"
+	"repro/internal/metrics"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -50,6 +51,10 @@ type ReceiverConfig struct {
 	// Counters, when non-nil, is the shared fault/recovery counter set
 	// (normally a faults.Plan's); a private set is created otherwise.
 	Counters *telemetry.CounterSet
+	// Recorder, when non-nil, receives the engine's flight-recorder
+	// events (gap-detected, nak-sent, recovered, write-off). Nil disables
+	// flight recording.
+	Recorder *metrics.FlightRecorder
 }
 
 // Message is one delivered message on the live path. It is the engine's
@@ -184,6 +189,7 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 			r.pendMsgs = append(r.pendMsgs, m)
 		},
 		LatencyHist: r.LatencyHist,
+		Recorder:    cfg.Recorder,
 	})
 	r.eng.SetSelf(self)
 	r.wg.Add(1)
@@ -248,6 +254,25 @@ func (r *Receiver) OutstandingGaps() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.eng.OutstandingGaps()
+}
+
+// RegisterMetrics publishes the receiver's dmtp.rx.* metric set on reg via
+// the shared helpers (so names match the simulator), plus the shared
+// packet-pool counters. All sampled values are read under the receiver lock
+// only at scrape time.
+func (r *Receiver) RegisterMetrics(reg *metrics.Registry) {
+	engSnap := func() dmtp.ReceiverStats {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.eng.Stats()
+	}
+	dmtp.RegisterReceiverMetrics(reg, engSnap)
+	dmtp.RegisterReceiverGauges(reg, r.OutstandingGaps, func() (int64, int64) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.LatencyHist.Quantile(0.5), r.LatencyHist.Quantile(0.99)
+	})
+	dmtp.RegisterPoolMetrics(reg)
 }
 
 // Close stops the receiver.

@@ -1,0 +1,53 @@
+package metrics
+
+import "testing"
+
+// The hot-path contract: once instruments exist, updating them and recording
+// flight events allocates nothing. Registry lookups (Counter/Gauge/Histogram
+// by name) are scrape-time operations and are allowed to allocate on first
+// creation only.
+
+func TestInstrumentUpdatesDoNotAllocate(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(42)
+		g.Add(-1)
+		h.Observe(1234)
+	}); n != 0 {
+		t.Fatalf("instrument updates allocate %.1f per run, want 0", n)
+	}
+}
+
+func TestFlightRecordDoesNotAllocate(t *testing.T) {
+	r := NewFlightRecorder(64)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.RecordAt(12345, EvGapDetected, 1, 2, 3)
+	}); n != 0 {
+		t.Fatalf("RecordAt allocates %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Record(EvNAKSent, 1, 2, 3)
+	}); n != 0 {
+		t.Fatalf("Record allocates %.1f per run, want 0", n)
+	}
+	var nilRec *FlightRecorder
+	if n := testing.AllocsPerRun(1000, func() {
+		nilRec.RecordAt(1, EvCrash, 0, 0, 0)
+	}); n != 0 {
+		t.Fatalf("nil RecordAt allocates %.1f per run, want 0", n)
+	}
+}
+
+func TestRegistrySteadyStateLookupDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("steady.counter") // create once
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Counter("steady.counter").Inc()
+	}); n != 0 {
+		t.Fatalf("steady-state Counter lookup allocates %.1f per run, want 0", n)
+	}
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, info := range Catalog {
+		if info.Name == "" || info.Help == "" || info.Unit == "" {
+			t.Errorf("catalog entry %+v has empty fields", info)
+		}
+		if seen[info.Name] {
+			t.Errorf("duplicate catalog name %q", info.Name)
+		}
+		seen[info.Name] = true
+	}
+}
+
+func TestCatalogCovers(t *testing.T) {
+	if !CatalogCovers(MetricRxRecovered) {
+		t.Error("exact name should be covered")
+	}
+	if !CatalogCovers(MetricRelayReshapePrefix + "1") {
+		t.Error("family member should be covered via the '*' entry")
+	}
+	if !CatalogCovers(MetricRelayReshapePrefix + "200") {
+		t.Error("any family member should be covered")
+	}
+	if CatalogCovers("no.such.metric") {
+		t.Error("unknown name should not be covered")
+	}
+}
+
+// TestCatalogMatchesObservabilityDoc diffs the metric names documented in
+// OBSERVABILITY.md's catalogue table (between the metric-catalogue
+// markers) against Catalog. The doc is the operator contract; this test
+// keeps it honest.
+func TestCatalogMatchesObservabilityDoc(t *testing.T) {
+	raw, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("reading OBSERVABILITY.md: %v", err)
+	}
+	doc := string(raw)
+	const begin, end = "<!-- metric-catalogue:begin -->", "<!-- metric-catalogue:end -->"
+	i, j := strings.Index(doc, begin), strings.Index(doc, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatal("OBSERVABILITY.md is missing the metric-catalogue markers")
+	}
+	table := doc[i+len(begin) : j]
+
+	rowName := regexp.MustCompile("(?m)^\\| `([^`]+)` ")
+	documented := map[string]bool{}
+	var docOrder []string
+	for _, m := range rowName.FindAllStringSubmatch(table, -1) {
+		if documented[m[1]] {
+			t.Errorf("OBSERVABILITY.md documents %q twice", m[1])
+		}
+		documented[m[1]] = true
+		docOrder = append(docOrder, m[1])
+	}
+	if len(docOrder) == 0 {
+		t.Fatal("no metric rows parsed from the catalogue table")
+	}
+
+	catalogued := map[string]bool{}
+	for _, info := range Catalog {
+		catalogued[info.Name] = true
+		if !documented[info.Name] {
+			t.Errorf("metric %q is in metrics.Catalog but not documented in OBSERVABILITY.md", info.Name)
+		}
+	}
+	for _, name := range docOrder {
+		if !catalogued[name] {
+			t.Errorf("OBSERVABILITY.md documents %q which is not in metrics.Catalog", name)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import "strings"
+
+// Canonical metric names. Both substrates register through the helpers in
+// internal/dmtp, which use exactly these constants, so a simulator run and
+// a live daemon export identical names. Every name here must appear in
+// OBSERVABILITY.md's catalogue — TestCatalogMatchesObservabilityDoc diffs
+// the two — and any metric registered by the transport layers must be
+// listed in Catalog below.
+const (
+	// Receiver (downstream endpoint) metrics.
+	MetricRxReceived        = "dmtp.rx.received"
+	MetricRxBytes           = "dmtp.rx.bytes"
+	MetricRxDelivered       = "dmtp.rx.delivered"
+	MetricRxDuplicates      = "dmtp.rx.duplicates"
+	MetricRxGapsDetected    = "dmtp.rx.gaps_detected"
+	MetricRxNAKsSent        = "dmtp.rx.naks_sent"
+	MetricRxRecovered       = "dmtp.rx.recovered"
+	MetricRxWriteOffs       = "dmtp.rx.write_offs"
+	MetricRxAged            = "dmtp.rx.aged"
+	MetricRxLate            = "dmtp.rx.late"
+	MetricRxUnsequenced     = "dmtp.rx.unsequenced"
+	MetricRxOutstandingGaps = "dmtp.rx.outstanding_gaps"
+	MetricRxLatencyP50      = "dmtp.rx.latency_p50_ns"
+	MetricRxLatencyP99      = "dmtp.rx.latency_p99_ns"
+
+	// Retransmission-buffer (relay / DTN buffer node) metrics.
+	MetricBufStashed        = "dmtp.buf.stashed"
+	MetricBufStashedBytes   = "dmtp.buf.stashed_bytes"
+	MetricBufEvicted        = "dmtp.buf.evicted"
+	MetricBufTrimmed        = "dmtp.buf.trimmed"
+	MetricBufNAKsServed     = "dmtp.buf.naks_served"
+	MetricBufRetransmits    = "dmtp.buf.retransmits"
+	MetricBufNAKMisses      = "dmtp.buf.nak_misses"
+	MetricBufCrashes        = "dmtp.buf.crashes"
+	MetricBufOccupancyBytes = "dmtp.buf.occupancy_bytes"
+
+	// Sender (instrument source) metrics.
+	MetricTxSent           = "dmtp.tx.sent"
+	MetricTxSentBytes      = "dmtp.tx.sent_bytes"
+	MetricTxSendErrors     = "dmtp.tx.send_errors"
+	MetricTxReconnects     = "dmtp.tx.reconnects"
+	MetricTxQueued         = "dmtp.tx.queued"
+	MetricTxBackPressure   = "dmtp.tx.backpressure_signals"
+	MetricTxDeadlineMisses = "dmtp.tx.deadline_misses"
+
+	// Network-element (relay / buffer-node adapter) metrics.
+	MetricRelayUpgraded      = "dmtp.relay.upgraded"
+	MetricRelayForwarded     = "dmtp.relay.forwarded"
+	MetricRelayInjectedDrops = "dmtp.relay.injected_drops"
+	MetricRelayRepointed     = "dmtp.relay.repointed"
+	MetricRelayDroppedDown   = "dmtp.relay.dropped_down"
+	// MetricRelayReshapePrefix is a counter family: one counter per
+	// observed post-reshape config ID, e.g. "dmtp.relay.reshapes.config1".
+	MetricRelayReshapePrefix = "dmtp.relay.reshapes.config"
+
+	// Shared packet-buffer pool metrics (wire.BufferPool).
+	MetricPoolGets     = "wire.pool.gets"
+	MetricPoolHits     = "wire.pool.hits"
+	MetricPoolMisses   = "wire.pool.misses"
+	MetricPoolOversize = "wire.pool.oversize"
+
+	// Process-level metrics (RegisterProcessMetrics).
+	MetricProcUptime     = "proc.uptime_seconds"
+	MetricProcGoroutines = "proc.goroutines"
+	MetricProcHeapBytes  = "proc.heap_bytes"
+	MetricProcGCRuns     = "proc.gc_runs"
+
+	// Flight-recorder self-metrics (RegisterFlightMetrics).
+	MetricFlightRecorded = "flight.events_recorded"
+	MetricFlightCapacity = "flight.capacity"
+
+	// Debug-endpoint self-metrics (internal/debugsrv).
+	MetricDebugRequests = "debug.http_requests"
+	MetricDebugScrapeNs = "debug.scrape_ns"
+)
+
+// Info describes one catalogued metric (or, when Name ends in '*', a
+// family of metrics sharing a prefix).
+type Info struct {
+	// Name is the exact metric name, or a prefix ending in '*' matching a
+	// dynamically named family.
+	Name string
+	Kind Kind
+	// Unit is the value's unit ("packets", "bytes", "ns", …).
+	Unit string
+	// Help is the one-line operator-facing semantics.
+	Help string
+}
+
+// Catalog lists every metric the transport layers export, in the order
+// OBSERVABILITY.md documents them. Tests enforce that (a) the doc and this
+// list agree exactly and (b) every name a fully wired registry exports is
+// covered here.
+var Catalog = []Info{
+	{MetricRxReceived, KindGauge, "packets", "data packets ingested by the receiver engine"},
+	{MetricRxBytes, KindGauge, "bytes", "wire bytes ingested by the receiver engine"},
+	{MetricRxDelivered, KindGauge, "messages", "messages handed to the application"},
+	{MetricRxDuplicates, KindGauge, "packets", "duplicate data packets discarded"},
+	{MetricRxGapsDetected, KindGauge, "seqs", "sequence numbers that entered loss recovery"},
+	{MetricRxNAKsSent, KindGauge, "packets", "NAK packets emitted toward the upstream buffer"},
+	{MetricRxRecovered, KindGauge, "packets", "packets restored by NAK retransmission"},
+	{MetricRxWriteOffs, KindGauge, "seqs", "sequence numbers written off as permanent loss after MaxNAKs"},
+	{MetricRxAged, KindGauge, "packets", "packets delivered with the age budget exceeded"},
+	{MetricRxLate, KindGauge, "packets", "packets that missed their delivery deadline"},
+	{MetricRxUnsequenced, KindGauge, "packets", "packets delivered outside any sequenced stream (mode 0)"},
+	{MetricRxOutstandingGaps, KindGauge, "seqs", "sequence numbers currently awaiting recovery"},
+	{MetricRxLatencyP50, KindGauge, "ns", "median origin→delivery latency"},
+	{MetricRxLatencyP99, KindGauge, "ns", "99th-percentile origin→delivery latency"},
+	{MetricBufStashed, KindGauge, "packets", "packets stashed into the retransmission buffer"},
+	{MetricBufStashedBytes, KindGauge, "bytes", "cumulative bytes stashed"},
+	{MetricBufEvicted, KindGauge, "packets", "stash entries evicted for capacity (oldest first)"},
+	{MetricBufTrimmed, KindGauge, "packets", "stash entries released by cumulative ACKs"},
+	{MetricBufNAKsServed, KindGauge, "packets", "NAK packets served from the stash"},
+	{MetricBufRetransmits, KindGauge, "packets", "retransmissions sent in response to NAKs"},
+	{MetricBufNAKMisses, KindGauge, "seqs", "NAKed sequence numbers no longer buffered (evicted, trimmed, or lost to a crash)"},
+	{MetricBufCrashes, KindGauge, "events", "buffer crash events (chaos testing / process death)"},
+	{MetricBufOccupancyBytes, KindGauge, "bytes", "current retransmission-buffer occupancy"},
+	{MetricTxSent, KindGauge, "packets", "data packets emitted by the sender"},
+	{MetricTxSentBytes, KindGauge, "bytes", "wire bytes emitted by the sender (simulator substrate)"},
+	{MetricTxSendErrors, KindGauge, "errors", "socket writes that failed (live substrate)"},
+	{MetricTxReconnects, KindGauge, "events", "successful redials after a write error (live substrate)"},
+	{MetricTxQueued, KindGauge, "packets", "packets that waited for pacing tokens (simulator substrate)"},
+	{MetricTxBackPressure, KindGauge, "signals", "back-pressure signals received by the sender (simulator substrate)"},
+	{MetricTxDeadlineMisses, KindGauge, "signals", "deadline-exceeded notifications received (simulator substrate)"},
+	{MetricRelayUpgraded, KindGauge, "packets", "mode-0 packets upgraded into the reliable WAN mode"},
+	{MetricRelayForwarded, KindGauge, "packets", "data packets forwarded downstream"},
+	{MetricRelayInjectedDrops, KindGauge, "packets", "packets deliberately dropped by -drop-every fault injection"},
+	{MetricRelayRepointed, KindGauge, "packets", "transit packets re-homed to this buffer (StashTransit, simulator substrate)"},
+	{MetricRelayDroppedDown, KindGauge, "packets", "frames discarded while the buffer was crashed (simulator substrate)"},
+	{MetricRelayReshapePrefix + "*", KindCounter, "packets", "reshapes performed, one counter per resulting config ID"},
+	{MetricPoolGets, KindGauge, "buffers", "buffers requested from the shared packet pool"},
+	{MetricPoolHits, KindGauge, "buffers", "pool requests satisfied by a recycled buffer"},
+	{MetricPoolMisses, KindGauge, "buffers", "pool requests that had to allocate"},
+	{MetricPoolOversize, KindGauge, "buffers", "requests larger than every size class (plain allocations)"},
+	{MetricProcUptime, KindGauge, "seconds", "process uptime"},
+	{MetricProcGoroutines, KindGauge, "goroutines", "live goroutines"},
+	{MetricProcHeapBytes, KindGauge, "bytes", "heap in use (runtime.MemStats.HeapAlloc)"},
+	{MetricProcGCRuns, KindGauge, "collections", "completed garbage-collection cycles"},
+	{MetricFlightRecorded, KindGauge, "events", "protocol events recorded since start (including overwritten)"},
+	{MetricFlightCapacity, KindGauge, "events", "flight-recorder ring capacity"},
+	{MetricDebugRequests, KindCounter, "requests", "HTTP requests served by the debug endpoint"},
+	{MetricDebugScrapeNs, KindHist, "ns", "time to render one /metrics or /events response"},
+}
+
+// CatalogCovers reports whether name is documented in Catalog, either
+// exactly or via a '*'-suffixed family entry.
+func CatalogCovers(name string) bool {
+	for _, info := range Catalog {
+		if info.Name == name {
+			return true
+		}
+		if strings.HasSuffix(info.Name, "*") && strings.HasPrefix(name, strings.TrimSuffix(info.Name, "*")) {
+			return true
+		}
+	}
+	return false
+}

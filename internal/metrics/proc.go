@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterProcessMetrics publishes process-level sampled gauges (uptime,
+// goroutines, heap, GC cycles) on reg. runtime.ReadMemStats runs only at
+// snapshot time, so steady-state cost is zero.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	reg.RegisterFunc(MetricProcUptime, func() int64 {
+		return int64(time.Since(start) / time.Second)
+	})
+	reg.RegisterFunc(MetricProcGoroutines, func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	reg.RegisterFunc(MetricProcHeapBytes, func() int64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return int64(m.HeapAlloc)
+	})
+	reg.RegisterFunc(MetricProcGCRuns, func() int64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return int64(m.NumGC)
+	})
+}
+
+// RegisterFlightMetrics publishes the recorder's own counters (events ever
+// recorded, ring capacity) on reg. Safe with a nil recorder.
+func RegisterFlightMetrics(reg *Registry, rec *FlightRecorder) {
+	reg.RegisterFunc(MetricFlightRecorded, func() int64 { return int64(rec.Total()) })
+	reg.RegisterFunc(MetricFlightCapacity, func() int64 { return int64(rec.Cap()) })
+}

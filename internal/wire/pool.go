@@ -2,6 +2,7 @@ package wire
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // BufferPool recycles packet buffers across the datapath so that the
@@ -28,13 +29,38 @@ type BufferPool struct {
 	classes [len(classSizes)]sync.Pool
 	nodes   sync.Pool // *pbuf nodes with b == nil, recycled between classes
 
-	// TooLarge counts Get sizes beyond the largest class; those buffers
-	// are plain allocations and are dropped on Release.
-	TooLarge uint64
+	// Observability counters (see Stats). Atomic: Get runs concurrently
+	// on the live path.
+	gets     atomic.Uint64
+	hits     atomic.Uint64
+	oversize atomic.Uint64
 
 	mu      sync.Mutex
 	checked bool
 	out     map[*byte]int // first-byte pointer -> class, outstanding buffers
+}
+
+// PoolStats is a point-in-time snapshot of a pool's traffic counters.
+// Misses (Gets − Hits − Oversize) are Gets that had to allocate a fresh
+// class-sized buffer; a steady-state datapath should show Hits ≈ Gets.
+type PoolStats struct {
+	Gets uint64 // buffers requested
+	Hits uint64 // requests satisfied by a recycled buffer
+	// Oversize counts Get sizes beyond the largest class; those buffers
+	// are plain allocations and are dropped on Release.
+	Oversize uint64
+}
+
+// Misses returns the number of Gets that allocated (including oversize).
+func (s PoolStats) Misses() uint64 { return s.Gets - s.Hits }
+
+// Stats returns the pool's cumulative traffic counters.
+func (p *BufferPool) Stats() PoolStats {
+	return PoolStats{
+		Gets:     p.gets.Load(),
+		Hits:     p.hits.Load(),
+		Oversize: p.oversize.Load(),
+	}
 }
 
 // classSizes are the pooled buffer capacities. 256 covers control packets
@@ -76,9 +102,10 @@ func classFor(n int) int {
 // contents are unspecified (buffers are recycled, not zeroed); callers that
 // append should start from b[:0].
 func (p *BufferPool) Get(n int) []byte {
+	p.gets.Add(1)
 	ci := classFor(n)
 	if ci < 0 {
-		p.TooLarge++
+		p.oversize.Add(1)
 		return make([]byte, n)
 	}
 	var b []byte
@@ -86,6 +113,7 @@ func (p *BufferPool) Get(n int) []byte {
 		b = node.b
 		node.b = nil
 		p.nodes.Put(node)
+		p.hits.Add(1)
 	} else {
 		b = make([]byte, classSizes[ci])
 	}
@@ -176,3 +204,7 @@ func GetBuffer(n int) []byte { return defaultPool.Get(n) }
 
 // ReleaseBuffer returns a GetBuffer buffer to the shared pool.
 func ReleaseBuffer(b []byte) { defaultPool.Release(b) }
+
+// DefaultPoolStats returns the shared pool's cumulative traffic counters
+// (what the wire.pool.* metrics expose).
+func DefaultPoolStats() PoolStats { return defaultPool.Stats() }

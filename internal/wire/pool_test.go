@@ -30,10 +30,29 @@ func TestPoolOversizedGet(t *testing.T) {
 	if len(b) != 1<<20 {
 		t.Fatalf("len %d", len(b))
 	}
-	if p.TooLarge != 1 {
-		t.Fatalf("TooLarge %d", p.TooLarge)
+	if st := p.Stats(); st.Oversize != 1 || st.Gets != 1 || st.Misses() != 1 {
+		t.Fatalf("stats %+v", st)
 	}
 	p.Release(b) // must be a silent drop, not a panic or a poisoned class
+}
+
+// TestPoolStats verifies the hit/miss accounting: a cold Get misses, a Get
+// after Release hits.
+func TestPoolStats(t *testing.T) {
+	p := NewBufferPool()
+	b := p.Get(1000) // cold: miss
+	p.Release(b)
+	p.Get(1000) // warm: hit
+	st := p.Stats()
+	if st.Gets != 2 {
+		t.Fatalf("Gets %d, want 2", st.Gets)
+	}
+	if st.Hits == 0 {
+		t.Skip("sync.Pool did not return the released buffer (GC ran); skipping")
+	}
+	if st.Hits != 1 || st.Misses() != 1 {
+		t.Fatalf("Hits %d Misses %d, want 1/1", st.Hits, st.Misses())
+	}
 }
 
 // TestPoolReuse verifies a released buffer is actually recycled — the
