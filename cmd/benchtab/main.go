@@ -48,16 +48,27 @@ type expTiming struct {
 	MetricDeltas []metrics.Sample `json:"metric_deltas,omitempty"`
 }
 
+// traceSeg is one hop-span position's OWD quantiles in the -json document.
+type traceSeg struct {
+	Segment string `json:"segment"`
+	Count   uint64 `json:"count"`
+	P50Ns   int64  `json:"p50_ns"`
+	P99Ns   int64  `json:"p99_ns"`
+}
+
 // benchDoc is the -json output document.
 type benchDoc struct {
 	Schema      string      `json:"schema"`
 	Messages    int         `json:"messages"`
 	Seed        int64       `json:"seed"`
 	Experiments []expTiming `json:"experiments"`
+	// TraceSegmentOWD carries the traced pipeline's per-segment one-way
+	// delay profile (experiment t1), reconstructed from in-band hop stamps.
+	TraceSegmentOWD []traceSeg `json:"trace_segment_owd,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1,e2,e3,e4,e5,a1,a2,a4,a5,a6 or all")
+	exp := flag.String("exp", "all", "experiment id: e1,e2,e3,e4,e5,a1,a2,a4,a5,a6,t1 or all")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	messages := flag.Int("messages", 1000, "messages per run")
 	jsonOut := flag.Bool("json", false, "suppress tables; emit a benchtab/v1 JSON benchmark document")
@@ -149,9 +160,20 @@ func main() {
 	section("a6", "Ablation: retransmission-buffer sizing", func(w io.Writer) {
 		fmt.Fprint(w, experiments.A6Table(experiments.A6BufferSizing(nil, 10*(*messages), *seed)))
 	})
+	var traceOWD []traceSeg
+	section("t1", "Traced pipeline: per-segment one-way delay", func(w io.Writer) {
+		res := experiments.TraceOWD(*messages, *seed)
+		fmt.Fprint(w, res.Table())
+		for _, s := range res.Segments {
+			traceOWD = append(traceOWD, traceSeg{
+				Segment: s.Segment, Count: s.Count,
+				P50Ns: int64(s.P50), P99Ns: int64(s.P99),
+			})
+		}
+	})
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1,e2,e3,e4,e5,a1,a2,a4,a5,a6 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1,e2,e3,e4,e5,a1,a2,a4,a5,a6,t1 or all)\n", *exp)
 		os.Exit(2)
 	}
 	if *jsonOut {
@@ -159,6 +181,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(benchDoc{
 			Schema: "benchtab/v1", Messages: *messages, Seed: *seed, Experiments: timings,
+			TraceSegmentOWD: traceOWD,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)

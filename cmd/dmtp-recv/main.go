@@ -13,23 +13,32 @@ import (
 	"time"
 
 	"repro/internal/debugsrv"
+	"repro/internal/dmtp"
 	"repro/internal/live"
 	"repro/internal/metrics"
+	"repro/internal/tracespan"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:17581", "UDP listen address")
 	verbose := flag.Bool("v", false, "log each message")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address (off when empty)")
+	traceSample := flag.Int("trace-sample", 0, "collect spans from in-band traced messages (0 = off; the value only arms collection — sampling is the sender's)")
+	traceOut := flag.String("trace-out", "", "write collected spans as Perfetto trace JSON on exit")
 	flag.Parse()
 
 	var rec *metrics.FlightRecorder
 	if *debugAddr != "" {
 		rec = metrics.NewFlightRecorder(0)
 	}
+	var tracer *tracespan.Collector
+	if *traceSample > 0 || *traceOut != "" {
+		tracer = tracespan.NewCollector(0)
+	}
 	recv, err := live.NewReceiver(live.ReceiverConfig{
 		Listen:   *listen,
 		Recorder: rec,
+		Tracer:   tracer,
 		OnMessage: func(m live.Message) {
 			if *verbose {
 				fmt.Printf("%v seq %d: %d bytes, latency %v, aged=%v late=%v recovered=%v\n",
@@ -49,7 +58,10 @@ func main() {
 		recv.RegisterMetrics(reg)
 		metrics.RegisterProcessMetrics(reg)
 		metrics.RegisterFlightMetrics(reg, rec)
-		dbg, err := debugsrv.New(debugsrv.Config{Addr: *debugAddr, Registry: reg, Recorder: rec})
+		if tracer != nil {
+			dmtp.RegisterTraceMetrics(reg, tracer)
+		}
+		dbg, err := debugsrv.New(debugsrv.Config{Addr: *debugAddr, Registry: reg, Recorder: rec, Tracer: tracer})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmtp-recv:", err)
 			os.Exit(1)
@@ -70,7 +82,25 @@ func main() {
 				st.Delivered, st.Recovered, st.PermanentLoss, st.NAKsSent, st.Aged, st.Late, recv.LatencyHist)
 		case <-sig:
 			fmt.Printf("\nfinal: %+v\n", recv.Stats())
+			if *traceOut != "" {
+				writeTrace(*traceOut, tracer)
+			}
 			return
 		}
 	}
+}
+
+// writeTrace dumps the collector's reconstructed spans as trace-event JSON.
+func writeTrace(path string, tracer *tracespan.Collector) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmtp-recv:", err)
+		return
+	}
+	defer f.Close()
+	if err := tracer.WriteTraceJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "dmtp-recv:", err)
+		return
+	}
+	fmt.Printf("dmtp-recv: %d spans written to %s\n", tracer.Sampled(), path)
 }

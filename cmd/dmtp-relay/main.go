@@ -16,6 +16,7 @@ import (
 	"repro/internal/debugsrv"
 	"repro/internal/live"
 	"repro/internal/metrics"
+	"repro/internal/tracespan"
 )
 
 func main() {
@@ -25,10 +26,12 @@ func main() {
 	deadline := flag.Duration("deadline", time.Second, "delivery budget")
 	dropEvery := flag.Int("drop-every", 0, "drop every Nth data packet (fault injection)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address (off when empty)")
+	traceSample := flag.Int("trace-sample", 0, "originate an in-band trace on every Nth untraced upgrade (0 = off)")
+	traceOut := flag.String("trace-out", "", "write the flight-recorder timeline as Perfetto trace JSON on exit")
 	flag.Parse()
 
 	var rec *metrics.FlightRecorder
-	if *debugAddr != "" {
+	if *debugAddr != "" || *traceOut != "" {
 		rec = metrics.NewFlightRecorder(0)
 	}
 	relay, err := live.NewRelay(live.RelayConfig{
@@ -38,6 +41,7 @@ func main() {
 		DeadlineBudget: *deadline,
 		DropEveryN:     *dropEvery,
 		Recorder:       rec,
+		TraceSample:    *traceSample,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
@@ -73,7 +77,25 @@ func main() {
 		case <-sig:
 			st := relay.Stats()
 			fmt.Printf("\nfinal: %+v\n", st)
+			if *traceOut != "" {
+				writeFlightTrace(*traceOut, rec)
+			}
 			return
 		}
 	}
+}
+
+// writeFlightTrace dumps the recorder's timeline as trace-event JSON.
+func writeFlightTrace(path string, rec *metrics.FlightRecorder) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
+		return
+	}
+	defer f.Close()
+	if err := tracespan.WriteFlightTrace(f, rec.Snapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
+		return
+	}
+	fmt.Printf("dmtp-relay: flight trace written to %s\n", path)
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/debugsrv"
 	"repro/internal/live"
 	"repro/internal/metrics"
+	"repro/internal/tracespan"
 )
 
 func main() {
@@ -24,16 +25,19 @@ func main() {
 	size := flag.Int("size", 7680, "message payload bytes")
 	rate := flag.Float64("rate", 1000, "messages per second")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address (off when empty)")
+	traceSample := flag.Int("trace-sample", 0, "emit an in-band trace on every Nth message (0 = off)")
+	traceOut := flag.String("trace-out", "", "write the flight-recorder timeline as Perfetto trace JSON on exit")
 	flag.Parse()
 
 	var rec *metrics.FlightRecorder
-	if *debugAddr != "" {
+	if *debugAddr != "" || *traceOut != "" {
 		rec = metrics.NewFlightRecorder(0)
 	}
 	snd, err := live.NewSenderWithConfig(live.SenderConfig{
-		Dst:        *to,
-		Experiment: uint32(*experiment),
-		Recorder:   rec,
+		Dst:         *to,
+		Experiment:  uint32(*experiment),
+		Recorder:    rec,
+		TraceSample: *traceSample,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmtp-send:", err)
@@ -79,4 +83,18 @@ func main() {
 	elapsed := time.Since(start)
 	fmt.Printf("dmtp-send: %d messages (%d bytes each) in %v from %s\n",
 		snd.Sent(), *size, elapsed.Round(time.Millisecond), snd.LocalAddr())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtp-send:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tracespan.WriteFlightTrace(f, rec.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "dmtp-send:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dmtp-send: flight trace written to %s\n", *traceOut)
+	}
 }

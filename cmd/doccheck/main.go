@@ -28,6 +28,7 @@ var defaultPackages = []string{
 	"./internal/conformance",
 	"./internal/faults",
 	"./internal/debugsrv",
+	"./internal/tracespan",
 }
 
 func main() {

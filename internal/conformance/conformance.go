@@ -52,6 +52,11 @@ type Scenario struct {
 	// FaultSeed seeds the fault plan (unused by scripted drops, but part
 	// of the plan identity).
 	FaultSeed int64
+	// TraceSample, when positive, enables in-band tracing at both senders
+	// (every TraceSample'th message) and span collection at both
+	// receivers; the transcripts then carry the reconstructed span
+	// structures, which must match across substrates.
+	TraceSample int
 }
 
 // Delivery is one delivered message, as the transcript records it.
@@ -78,7 +83,11 @@ type Transcript struct {
 	Delivered []Delivery
 	NAKs      []string // formatted ranges, one entry per NAK packet
 	Gaps      []uint64 // write-offs, in OnGap order
-	Totals    Totals
+	// Spans holds the reconstructed span structure of every sampled traced
+	// message (tracespan.Record.Structure), in collection order; empty
+	// unless the scenario sets TraceSample.
+	Spans  []string
+	Totals Totals
 }
 
 // FormatRanges renders NAK ranges canonically for transcript comparison.
@@ -126,6 +135,15 @@ func Diff(sim, live *Transcript) []string {
 	for i := 0; i < len(sim.Gaps) && i < len(live.Gaps); i++ {
 		if sim.Gaps[i] != live.Gaps[i] {
 			out = append(out, fmt.Sprintf("write-off[%d]: sim %d, live %d", i, sim.Gaps[i], live.Gaps[i]))
+		}
+	}
+	if len(sim.Spans) != len(live.Spans) {
+		out = append(out, fmt.Sprintf("span count: sim %d %v, live %d %v",
+			len(sim.Spans), sim.Spans, len(live.Spans), live.Spans))
+	}
+	for i := 0; i < len(sim.Spans) && i < len(live.Spans); i++ {
+		if sim.Spans[i] != live.Spans[i] {
+			out = append(out, fmt.Sprintf("span[%d]: sim %q, live %q", i, sim.Spans[i], live.Spans[i]))
 		}
 	}
 	if sim.Totals != live.Totals {

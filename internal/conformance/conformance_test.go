@@ -65,6 +65,43 @@ func TestDifferentialSimVsLive(t *testing.T) {
 	}
 }
 
+// TestDifferentialTraceSpans runs the acceptance scenario with in-band
+// tracing on every message and asserts the reconstructed span structures —
+// hop-name sequences, reshape annotations, and recovery markers — are
+// identical on both substrates, and that the recovered message's trace is
+// structurally distinct (it passed back through the retransmission stash).
+func TestDifferentialTraceSpans(t *testing.T) {
+	sc := acceptanceScenario()
+	sc.TraceSample = 1
+	simTr := RunSim(sc)
+	liveTr, err := RunLive(sc)
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	for _, d := range Diff(simTr, liveTr) {
+		t.Errorf("divergence: %s", d)
+	}
+	if len(simTr.Spans) != sc.Messages-1 {
+		t.Fatalf("span records %d, want %d (all deliveries traced): %v",
+			len(simTr.Spans), sc.Messages-1, simTr.Spans)
+	}
+	direct, recovered := 0, 0
+	for _, s := range simTr.Spans {
+		switch s {
+		case "id=3 hops=tx>reshape:1>rtx>rx recovered":
+			recovered++
+		default:
+			direct++
+		}
+	}
+	if recovered != 1 {
+		t.Fatalf("no retransmit-shaped span for the recovered message: %v", simTr.Spans)
+	}
+	if direct != sc.Messages-2 {
+		t.Fatalf("direct spans %d, want %d: %v", direct, sc.Messages-2, simTr.Spans)
+	}
+}
+
 // TestDifferentialDetectsBrokenEngine is the suite's self-test: a
 // deliberately broken engine fork — the gap-detection floor biased by one
 // via dmtp.GapFloorBias, so a single-packet gap right above the floor is

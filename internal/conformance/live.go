@@ -9,6 +9,7 @@ import (
 	"repro/internal/dmtp"
 	"repro/internal/faults"
 	"repro/internal/live"
+	"repro/internal/tracespan"
 	"repro/internal/wire"
 )
 
@@ -27,6 +28,7 @@ func RunLive(sc Scenario) (*Transcript, error) {
 	fc := dmtp.NewFakeClock(0)
 	plan := faults.New(faults.Spec{Seed: sc.FaultSeed, DropPackets: sc.DropEgress})
 	tr := &Transcript{}
+	tracer := tracespan.NewCollector(0)
 	var mu sync.Mutex
 
 	recv, err := live.NewReceiver(live.ReceiverConfig{
@@ -53,6 +55,7 @@ func RunLive(sc Scenario) (*Transcript, error) {
 			tr.Gaps = append(tr.Gaps, seq)
 			mu.Unlock()
 		},
+		Tracer: tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -71,7 +74,11 @@ func RunLive(sc Scenario) (*Transcript, error) {
 	}
 	defer relay.Close()
 
-	snd, err := live.NewSender(relay.Addr(), sc.Experiment)
+	snd, err := live.NewSenderWithConfig(live.SenderConfig{
+		Dst:         relay.Addr(),
+		Experiment:  sc.Experiment,
+		TraceSample: sc.TraceSample,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +175,7 @@ func RunLive(sc Scenario) (*Transcript, error) {
 		return nil, fmt.Errorf("%d gaps outstanding at quiescence", n)
 	}
 
+	tr.Spans = tracer.Structures()
 	st := recv.Stats()
 	mu.Lock()
 	defer mu.Unlock()

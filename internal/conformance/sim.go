@@ -7,6 +7,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/tracespan"
 	"repro/internal/wire"
 )
 
@@ -29,6 +30,7 @@ func RunSim(sc Scenario) *Transcript {
 	nw := netsim.New(1)
 	plan := faults.New(faults.Spec{Seed: sc.FaultSeed, DropPackets: sc.DropEgress})
 	tr := &Transcript{}
+	tracer := tracespan.NewCollector(0)
 
 	sensorAddr := wire.AddrFrom(10, 0, 0, 1, 4000)
 	dtnAddr := wire.AddrFrom(10, 0, 1, 1, 7000)
@@ -50,6 +52,7 @@ func RunSim(sc Scenario) *Transcript {
 		OnGap: func(_ wire.ExperimentID, seq uint64) {
 			tr.Gaps = append(tr.Gaps, seq)
 		},
+		Tracer: tracer,
 	})
 	dtn := core.NewBufferNode(nw, "dtn", dtnAddr, core.BufferConfig{
 		UpgradeFrom: core.ModeBare.ConfigID,
@@ -59,9 +62,10 @@ func RunSim(sc Scenario) *Transcript {
 		MaxAge:      time.Hour,
 	})
 	snd := core.NewSender(nw, "sensor", sensorAddr, core.SenderConfig{
-		Experiment: sc.Experiment,
-		Dst:        dtnAddr,
-		Mode:       core.ModeBare,
+		Experiment:  sc.Experiment,
+		Dst:         dtnAddr,
+		Mode:        core.ModeBare,
+		TraceSample: sc.TraceSample,
 	})
 
 	nw.Connect(snd.Node(), dtn.Node(),
@@ -84,6 +88,7 @@ func RunSim(sc Scenario) *Transcript {
 	}
 	nw.Loop().Run()
 
+	tr.Spans = tracer.Structures()
 	st := recv.Stats
 	tr.Totals = Totals{
 		Received:   st.Received,

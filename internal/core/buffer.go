@@ -186,9 +186,15 @@ func (b *BufferNode) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 }
 
 func (b *BufferNode) upgradeAndForward(v wire.View) {
-	up, err := v.Reshape(b.cfg.Upgrade.ConfigID, b.cfg.Upgrade.Features)
+	// FeatTraced rides along: an upgrade must not strip an in-band trace,
+	// and the reshape itself is recorded as a hop stamp below.
+	want := b.cfg.Upgrade.Features | v.Features()&wire.FeatTraced
+	up, err := v.Reshape(b.cfg.Upgrade.ConfigID, want)
 	if err != nil {
 		return
+	}
+	if up.TraceSampled() {
+		_ = up.AppendHopStamp(wire.TraceReshapeHop(b.cfg.Upgrade.ConfigID), int64(b.nw.Now()))
 	}
 	feats := up.Features()
 	exp := up.Experiment()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
+	"repro/internal/tracespan"
 	"repro/internal/wire"
 )
 
@@ -59,6 +60,9 @@ type ReceiverConfig struct {
 	// Recorder, when non-nil, receives the engine's flight-recorder
 	// events stamped with virtual time. Nil disables flight recording.
 	Recorder *metrics.FlightRecorder
+	// Tracer, when non-nil, collects span records from sampled FeatTraced
+	// deliveries. Untraced and sampled-out messages never touch it.
+	Tracer *tracespan.Collector
 }
 
 // Message is one delivered DAQ message with transport-level metadata.
@@ -141,6 +145,7 @@ func NewReceiverHandler(nw *netsim.Network, cfg ReceiverConfig) *Receiver {
 			RecoveryHist:    r.RecoveryHist,
 			OrderedHOL:      r.OrderedHOL,
 			Recorder:        cfg.Recorder,
+			Tracer:          cfg.Tracer,
 		})
 	return r
 }

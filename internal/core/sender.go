@@ -40,6 +40,10 @@ type SenderConfig struct {
 	// Recorder, when non-nil, receives back-pressure flight-recorder
 	// events stamped with virtual time. Nil disables recording.
 	Recorder *metrics.FlightRecorder
+	// TraceSample, when positive, emits every TraceSample'th message with
+	// a sampled FeatTraced extension (1 = trace everything). Zero disables
+	// trace origination; unsampled messages carry no trace extension.
+	TraceSample int
 }
 
 // SenderStats are cumulative sender counters.
@@ -89,6 +93,7 @@ func NewSender(nw *netsim.Network, name string, addr wire.Addr, cfg SenderConfig
 		DupScope:       cfg.DupScope,
 		DeadlineBudget: cfg.DeadlineBudget,
 		DeadlineNotify: cfg.DeadlineNotify,
+		TraceSample:    cfg.TraceSample,
 	}
 	s.pacer = dmtp.NewPacer(loopClock{nw}, dmtp.PacerConfig{
 		RateMbps:        cfg.RateMbps,

@@ -15,6 +15,9 @@
 //	/metrics?format=json  JSON array of samples
 //	/events          flight-recorder dump, oldest first, one line per event
 //	/events?format=json   JSON array of events
+//	/events?kind=K   only events of kind K ("nak-sent", "reshape", …)
+//	/events?n=N      only the most recent N events (after kind filtering)
+//	/trace           collected spans as Chrome trace-event JSON (Perfetto)
 //	/healthz         200 "ok" (liveness probe)
 //	/debug/pprof/    the standard net/http/pprof handlers
 //
@@ -29,9 +32,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/tracespan"
 )
 
 // Config configures a debug server.
@@ -43,6 +48,9 @@ type Config struct {
 	Registry *metrics.Registry
 	// Recorder backs /events. Nil serves an empty event list.
 	Recorder *metrics.FlightRecorder
+	// Tracer backs /trace. Nil serves an empty (but schema-valid) trace
+	// document.
+	Tracer *tracespan.Collector
 }
 
 // Server is a running debug endpoint.
@@ -73,6 +81,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -106,8 +115,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	start := time.Now()
+	q := r.URL.Query()
 	events := s.cfg.Recorder.Snapshot()
-	if r.URL.Query().Get("format") == "json" {
+	if kindName := q.Get("kind"); kindName != "" {
+		kind, ok := metrics.EventKindFromName(kindName)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown event kind %q", kindName), http.StatusBadRequest)
+			return
+		}
+		kept := events[:0]
+		for _, ev := range events {
+			if ev.Kind == kind {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
+	if nStr := q.Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad n %q", nStr), http.StatusBadRequest)
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	if q.Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
 		writeEventsJSON(w, events)
 	} else {
@@ -116,6 +150,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, ev.String())
 		}
 	}
+	s.scrapeNs.ObserveDuration(time.Since(start))
+}
+
+// handleTrace serves the span collector's records as Chrome trace-event
+// JSON — load the response in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	s.requests.Inc()
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/json")
+	s.cfg.Tracer.WriteTraceJSON(w)
 	s.scrapeNs.ObserveDuration(time.Since(start))
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/tracespan"
 	"repro/internal/wire"
 )
 
@@ -238,6 +239,109 @@ func TestDebugEventsEmptyAndNilRecorder(t *testing.T) {
 	}
 	if body := strings.TrimSpace(get(t, srv.Addr(), "/events?format=json")); body != "[]" {
 		t.Errorf("/events?format=json with no recorder = %q, want []", body)
+	}
+}
+
+// TestDebugEventsFilters covers the /events query params: ?kind= keeps one
+// event kind (400 on an unknown name), ?n= tail-limits (400 on garbage),
+// and the two compose.
+func TestDebugEventsFilters(t *testing.T) {
+	rec := metrics.NewFlightRecorder(64)
+	for i := uint64(1); i <= 5; i++ {
+		rec.RecordAt(int64(i)*1000, metrics.EvNAKSent, 7, i, 0)
+		rec.RecordAt(int64(i)*1000+500, metrics.EvRecovered, 7, i, 0)
+	}
+	reg := metrics.NewRegistry()
+	srv, err := debugsrv.New(debugsrv.Config{Addr: "127.0.0.1:0", Registry: reg, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var events []metrics.Event
+	if err := json.Unmarshal([]byte(get(t, srv.Addr(), "/events?kind=nak-sent&format=json")), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("?kind=nak-sent returned %d events, want 5: %+v", len(events), events)
+	}
+	for _, ev := range events {
+		if ev.KindName != "nak-sent" {
+			t.Fatalf("?kind=nak-sent leaked %+v", ev)
+		}
+	}
+
+	if err := json.Unmarshal([]byte(get(t, srv.Addr(), "/events?n=3&format=json")), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[2].Seq != 5 || events[2].KindName != "recovered" {
+		t.Fatalf("?n=3 should keep the 3 newest events: %+v", events)
+	}
+
+	if err := json.Unmarshal([]byte(get(t, srv.Addr(), "/events?kind=recovered&n=2&format=json")), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Seq != 4 || events[1].Seq != 5 {
+		t.Fatalf("?kind&n composition wrong: %+v", events)
+	}
+
+	for _, bad := range []string{"/events?kind=no-such-kind", "/events?n=banana", "/events?n=-1"} {
+		resp, err := http.Get("http://" + srv.Addr() + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestDebugTraceEndpoint covers /trace: the span collector's records come
+// back as Chrome trace-event JSON, and a nil collector yields a valid
+// empty document.
+func TestDebugTraceEndpoint(t *testing.T) {
+	tracer := tracespan.NewCollector(0)
+	ext := wire.TraceExt{TraceID: 1, Flags: wire.TraceSampledFlag, HopCount: 1}
+	ext.Hops[0] = wire.TraceHop{Hop: wire.TraceHopTx, Stamp: 1000}
+	tracer.Observe(tracespan.Delivery{Trace: ext, Exp: wire.NewExperimentID(7, 0), Seq: 1, At: 2000})
+
+	reg := metrics.NewRegistry()
+	srv, err := debugsrv.New(debugsrv.Config{Addr: "127.0.0.1:0", Registry: reg, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv.Addr(), "/trace")), &doc); err != nil {
+		t.Fatalf("/trace: %v", err)
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			spans++
+		}
+	}
+	if spans != 2 { // tx + rx
+		t.Fatalf("/trace span events = %d, want 2: %+v", spans, doc.TraceEvents)
+	}
+
+	// No collector configured: still valid JSON, zero events.
+	bare, err := debugsrv.New(debugsrv.Config{Addr: "127.0.0.1:0", Registry: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if err := json.Unmarshal([]byte(get(t, bare.Addr(), "/trace")), &doc); err != nil {
+		t.Fatalf("/trace with nil tracer: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("/trace with nil tracer returned events: %+v", doc.TraceEvents)
 	}
 }
 

@@ -1,0 +1,106 @@
+package dmtp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tracespan"
+	"repro/internal/wire"
+)
+
+// tracedSeqPacket encodes a sequenced packet that carries a FeatTraced
+// extension with the given flags (sampled or sampled-out).
+func tracedSeqPacket(t *testing.T, seq uint64, flags uint8) wire.View {
+	t.Helper()
+	h := wire.Header{
+		ConfigID:   1,
+		Features:   wire.FeatSequenced | wire.FeatReliable | wire.FeatTraced,
+		Experiment: wire.NewExperimentID(7, 0),
+	}
+	h.Seq.Seq = seq
+	h.Retransmit.Buffer = wire.AddrFrom(10, 0, 0, 1, 100)
+	h.Trace = wire.TraceExt{TraceID: uint32(seq), Flags: flags, HopCount: 1}
+	enc, err := h.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.View(append(enc, "payload"...))
+}
+
+// TestIngestUntracedZeroAlloc locks in the PR invariant on the receive
+// path: with a span collector configured, in-order ingestion of untraced
+// and sampled-out packets allocates nothing — the collector is only ever
+// reached behind the TraceSampled gate.
+func TestIngestUntracedZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pkt  func(seq uint64) wire.View
+	}{
+		{"untraced", func(seq uint64) wire.View {
+			v := seqPacket(t, seq, wire.AddrFrom(10, 0, 0, 1, 100), "payload")
+			return v
+		}},
+		{"sampled-out", func(seq uint64) wire.View {
+			return tracedSeqPacket(t, seq, 0) // FeatTraced present, flag clear
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fc := NewFakeClock(0)
+			tracer := tracespan.NewCollector(0)
+			eng := NewReceiverEngine(fc, nopDatapath{}, ReceiverConfig{
+				NAKDelay:    time.Millisecond,
+				NAKRetry:    5 * time.Millisecond,
+				NAKRetryMax: 500 * time.Millisecond,
+				MaxNAKs:     3,
+				Tracer:      tracer,
+				// The default finalize copies the payload out of the packet
+				// buffer (one unavoidable alloc); bypass it to measure the
+				// engine's own path.
+				FinalizePayload: func(wire.View) []byte { return nil },
+			})
+			seq := uint64(0)
+			warm := tc.pkt(1)
+			for ; seq < 8; seq++ {
+				if err := warm.SetSeq(seq + 1); err != nil {
+					t.Fatal(err)
+				}
+				eng.Ingest(warm)
+			}
+			if avg := testing.AllocsPerRun(300, func() {
+				seq++
+				if err := warm.SetSeq(seq); err != nil {
+					t.Fatal(err)
+				}
+				eng.Ingest(warm)
+			}); avg != 0 {
+				t.Fatalf("%s ingest allocates %.2f allocs/op, want 0", tc.name, avg)
+			}
+			if tracer.Sampled() != 0 {
+				t.Fatalf("collector observed %d records from %s packets", tracer.Sampled(), tc.name)
+			}
+		})
+	}
+}
+
+// TestServeNAKUntracedZeroAlloc locks in the relay-side invariant: serving
+// NAKs from a stash of untraced (and sampled-out) packets — the path that
+// probes every stash entry with TraceSampled before retransmitting —
+// allocates nothing.
+func TestServeNAKUntracedZeroAlloc(t *testing.T) {
+	dp := nopDatapath{}
+	b := NewBufferEngine(dp, BufferConfig{})
+	exp := wire.NewExperimentID(7, 0)
+	for seq := uint64(1); seq <= 4; seq++ {
+		b.Stash(exp, seq, tracedSeqPacket(t, seq, 0))
+	}
+	nak := &wire.NAK{
+		Experiment: exp,
+		Requester:  wire.AddrFrom(10, 0, 0, 2, 200),
+		Ranges:     []wire.SeqRange{{From: 1, To: 4}},
+	}
+	if avg := testing.AllocsPerRun(300, func() {
+		b.ServeNAK(nak)
+	}); avg != 0 {
+		t.Fatalf("ServeNAK allocates %.2f allocs/op, want 0", avg)
+	}
+}

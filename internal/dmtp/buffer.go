@@ -172,6 +172,12 @@ func (b *BufferEngine) ServeNAK(nak *wire.NAK) {
 	for _, r := range nak.Ranges {
 		for seq := r.From; seq <= r.To && r.To >= r.From; seq++ {
 			if pkt, ok := b.store[bufKey{nak.Experiment, seq}]; ok {
+				if v := wire.View(pkt); v.TraceSampled() {
+					// Stash entries are engine-owned, so stamping in place is
+					// safe on both substrates; the reshape→rtx stamp gap makes
+					// stash residency visible in the reconstructed span tree.
+					_ = v.AppendHopStamp(wire.TraceHopRetransmit, b.cfg.Clock.Now())
+				}
 				b.dp.SendData(nak.Requester, pkt)
 				b.stats.Retransmits++
 				served++

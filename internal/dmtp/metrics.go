@@ -2,6 +2,7 @@ package dmtp
 
 import (
 	"repro/internal/metrics"
+	"repro/internal/tracespan"
 	"repro/internal/wire"
 )
 
@@ -55,6 +56,14 @@ func RegisterBufferMetrics(reg *metrics.Registry, snap func() BufferStats, occup
 	reg.RegisterFunc(metrics.MetricBufNAKMisses, func() int64 { return int64(snap().Misses) })
 	reg.RegisterFunc(metrics.MetricBufCrashes, func() int64 { return int64(snap().Crashes) })
 	reg.RegisterFunc(metrics.MetricBufOccupancyBytes, func() int64 { return int64(occupancy()) })
+}
+
+// RegisterTraceMetrics publishes the dmtp.trace.* set on reg: the collector's
+// sampled/dropped gauges plus the per-segment one-way-delay and recovery-
+// latency histograms. Like the other Register* helpers it pins the canonical
+// names on both substrates; the histograms are fed by Collector.Observe.
+func RegisterTraceMetrics(reg *metrics.Registry, c *tracespan.Collector) {
+	c.RegisterMetrics(reg)
 }
 
 // RegisterPoolMetrics publishes the shared wire.BufferPool traffic counters

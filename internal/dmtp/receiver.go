@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
+	"repro/internal/tracespan"
 	"repro/internal/wire"
 )
 
@@ -99,6 +100,11 @@ type ReceiverConfig struct {
 	// engine clock. Recording is lock- and allocation-free; nil disables
 	// it entirely.
 	Recorder *metrics.FlightRecorder
+	// Tracer, when non-nil, receives one tracespan.Delivery per sampled
+	// traced message at delivery — the receiver's "delivery stamp".
+	// Untraced and sampled-out messages never touch it, preserving the
+	// zero-allocation, zero-atomics datapath.
+	Tracer *tracespan.Collector
 }
 
 type rxMissing struct {
@@ -247,12 +253,14 @@ func (e *ReceiverEngine) Ingest(v wire.View) {
 
 	if !feats.Has(wire.FeatSequenced) {
 		e.stats.Unsequenced++
+		e.observeTrace(v, msg, now, 0, 0)
 		e.handOver(e.finalize(v, msg))
 		return
 	}
 	seq, err := v.Seq()
 	if err != nil || seq == 0 {
 		e.stats.Unsequenced++
+		e.observeTrace(v, msg, now, 0, 0)
 		e.handOver(e.finalize(v, msg))
 		return
 	}
@@ -269,6 +277,8 @@ func (e *ReceiverEngine) Ingest(v wire.View) {
 		return
 	}
 	st.received[seq] = true
+	var recDetected int64
+	var recNAKs int
 	if m, wasMissing := st.missing[seq]; wasMissing {
 		delete(st.missing, seq)
 		// Only arrivals that needed a NAK count as recovered; a packet
@@ -276,6 +286,7 @@ func (e *ReceiverEngine) Ingest(v wire.View) {
 		// not lost.
 		if m.naks > 0 {
 			msg.Recovered = true
+			recDetected, recNAKs = m.detected, m.naks
 			e.stats.Recovered++
 			e.cfg.Counters.Inc(telemetry.CounterRecovered)
 			e.cfg.Recorder.RecordAt(now, metrics.EvRecovered, uint64(exp), seq, uint64(m.naks))
@@ -303,12 +314,36 @@ func (e *ReceiverEngine) Ingest(v wire.View) {
 	}
 	e.advanceFloor(st)
 	e.armTimer(st)
+	e.observeTrace(v, msg, now, recDetected, recNAKs)
 	if e.cfg.Ordered {
 		st.pending[seq] = pendingRx{msg: e.finalize(v, msg), arrived: now}
 		e.flushOrdered(st, now)
 		return
 	}
 	e.handOver(e.finalize(v, msg))
+}
+
+// observeTrace records a sampled traced message's delivery with the span
+// collector. The sampled-flag check is the entire cost for untraced and
+// sampled-out packets: no allocation, no atomics, no collector lock.
+func (e *ReceiverEngine) observeTrace(v wire.View, msg Message, now, detected int64, naks int) {
+	if e.cfg.Tracer == nil || !v.TraceSampled() {
+		return
+	}
+	t, err := v.Trace()
+	if err != nil {
+		return
+	}
+	e.cfg.Tracer.Observe(tracespan.Delivery{
+		Trace:      t,
+		Exp:        msg.Experiment,
+		Seq:        msg.Seq,
+		ConfigID:   v.ConfigID(),
+		At:         now,
+		Recovered:  msg.Recovered,
+		DetectedAt: detected,
+		NAKs:       naks,
+	})
 }
 
 // finalize extracts the payload and completes the message.

@@ -28,6 +28,16 @@ type Encap struct {
 	DeadlineBudget time.Duration
 	// DeadlineNotify is where deadline violations are reported.
 	DeadlineNotify wire.Addr
+	// TraceSample enables in-band tracing at origination: every
+	// TraceSample'th message (1 = every message) is emitted with a sampled
+	// FeatTraced extension, stamped with the tx hop and a trace ID equal
+	// to the message's ordinal. 0 disables origination; unsampled messages
+	// carry no trace extension at all and pay nothing.
+	TraceSample int
+
+	// msgN counts encapsulated messages, driving the sampling decision
+	// and trace-ID assignment deterministically on both substrates.
+	msgN uint64
 }
 
 // AppendPacket appends the encoded packet for msg to dst (allocating a
@@ -53,6 +63,17 @@ func (e *Encap) AppendPacket(dst []byte, nowNanos int64, msg []byte, slice uint8
 			DeadlineNanos: uint64(nowNanos) + uint64(e.DeadlineBudget),
 			Notify:        e.DeadlineNotify,
 		}
+	}
+	e.msgN++
+	if e.TraceSample > 0 && e.msgN%uint64(e.TraceSample) == 0 {
+		h.Features |= wire.FeatTraced
+		h.Trace = wire.TraceExt{
+			TraceID:      uint32(e.msgN),
+			Flags:        wire.TraceSampledFlag,
+			HopCount:     1,
+			OriginConfig: e.ConfigID,
+		}
+		h.Trace.Hops[0] = wire.TraceHop{Hop: wire.TraceHopTx, Stamp: uint64(nowNanos) & wire.TraceStampMask}
 	}
 	if dst == nil {
 		dst = make([]byte, 0, h.WireSize()+len(msg))

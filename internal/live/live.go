@@ -100,6 +100,11 @@ type SenderConfig struct {
 	// Recorder, when non-nil, receives reconnect events. Nil disables
 	// flight recording.
 	Recorder *metrics.FlightRecorder
+	// TraceSample, when positive, emits every TraceSample'th message with
+	// a sampled FeatTraced extension (1 = trace everything). Zero disables
+	// trace origination; unsampled messages carry no trace extension and
+	// pay no extra datapath cost.
+	TraceSample int
 }
 
 func (c SenderConfig) withDefaults() SenderConfig {
@@ -138,6 +143,9 @@ type Sender struct {
 	// pkt is the per-connection encode buffer reused by every unary Send;
 	// growth persists, so steady-state sends allocate nothing.
 	pkt []byte
+	// msgN counts messages (not send attempts: a redial retry re-encodes
+	// the same message), driving trace sampling and trace-ID assignment.
+	msgN uint64
 	// deadlineArmed is when the socket write deadline was last set; the
 	// deadline is only re-armed after SendTimeout/4 so the per-send
 	// deadline syscall cost is amortized across many writes.
@@ -194,10 +202,23 @@ func (s *Sender) dial() error {
 }
 
 // encodeInto appends the mode-0 packet for msg to dst, reusing its capacity.
+// Callers hold s.mu and have already advanced s.msgN for this message.
 func (s *Sender) encodeInto(dst, msg []byte, slice uint8) ([]byte, error) {
 	h := wire.Header{
 		ConfigID:   0,
 		Experiment: wire.NewExperimentID(s.cfg.Experiment, slice),
+	}
+	if s.cfg.TraceSample > 0 && s.msgN%uint64(s.cfg.TraceSample) == 0 {
+		h.Features = wire.FeatTraced
+		h.Trace = wire.TraceExt{
+			TraceID:  uint32(s.msgN),
+			Flags:    wire.TraceSampledFlag,
+			HopCount: 1,
+		}
+		h.Trace.Hops[0] = wire.TraceHop{
+			Hop:   wire.TraceHopTx,
+			Stamp: uint64(time.Now().UnixNano()) & wire.TraceStampMask,
+		}
 	}
 	pkt, err := h.AppendTo(dst)
 	if err != nil {
@@ -230,6 +251,7 @@ func (s *Sender) Send(msg []byte, slice uint8) error {
 	}
 	backoff := s.cfg.RedialBackoff
 	var lastErr error
+	counted := false // msgN advances once per message, not per attempt
 	for attempt := 0; attempt <= s.cfg.Redials; attempt++ {
 		if attempt > 0 {
 			time.Sleep(backoff)
@@ -239,6 +261,10 @@ func (s *Sender) Send(msg []byte, slice uint8) error {
 		if s.closed {
 			s.mu.Unlock()
 			return fmt.Errorf("live: sender closed")
+		}
+		if !counted {
+			s.msgN++
+			counted = true
 		}
 		if s.conn == nil {
 			if err := s.dial(); err != nil {
@@ -286,6 +312,7 @@ func (s *Sender) sendBatched(msg []byte, slice uint8) error {
 	if s.closed {
 		return fmt.Errorf("live: sender closed")
 	}
+	s.msgN++
 	enc, err := s.encodeInto(s.batch[s.batchN][:0], msg, slice)
 	if err != nil {
 		return err
@@ -426,6 +453,11 @@ type RelayConfig struct {
 	// injected-drop, plus the buffer engine's nak-served / nak-miss /
 	// evict / trim / crash / restart). Nil disables flight recording.
 	Recorder *metrics.FlightRecorder
+	// TraceSample, when positive, originates a sampled in-band trace on
+	// every TraceSample'th upgraded packet that does not already carry one
+	// — adding FeatTraced is just another config rewrite at the upgrade
+	// boundary. Traces arriving from the sender are preserved regardless.
+	TraceSample int
 }
 
 // RelayStats are cumulative relay counters.
@@ -457,6 +489,7 @@ type Relay struct {
 	eng      *dmtp.BufferEngine
 	engStats dmtp.BufferStats
 	nak      wire.NAK // scratch decode target for handleControl
+	upgradeN uint64   // upgraded packets, driving boundary trace sampling
 	// reshapeC counts reshapes into the relay's output config; installed
 	// by RegisterMetrics, nil (and skipped) until then.
 	reshapeC *metrics.Counter
@@ -704,6 +737,15 @@ func (r *Relay) handle(conn UDPConn, pkt []byte) {
 	// the buffer doubles as the stash entry (released on evict or crash),
 	// so the upgrade path performs no steady-state allocation.
 	upFeats := wire.FeatSequenced | wire.FeatReliable | wire.FeatAgeTracked | wire.FeatTimely | wire.FeatTimestamped
+	// An in-band trace rides along through the upgrade; the relay can also
+	// originate one at the boundary (add FeatTraced = config rewrite).
+	upFeats |= v.Features() & wire.FeatTraced
+	r.upgradeN++
+	originate := r.cfg.TraceSample > 0 && !upFeats.Has(wire.FeatTraced) &&
+		r.upgradeN%uint64(r.cfg.TraceSample) == 0
+	if originate {
+		upFeats |= wire.FeatTraced
+	}
 	extLen, _ := upFeats.ExtLen()
 	up, err := v.ReshapeInto(wire.GetBuffer(len(pkt)+extLen), 1, upFeats)
 	if err != nil {
@@ -717,6 +759,15 @@ func (r *Relay) handle(conn UDPConn, pkt []byte) {
 		MaxAge:         r.cfg.MaxAge,
 		DeadlineBudget: r.cfg.DeadlineBudget,
 	})
+	if originate {
+		_ = up.SetTrace(wire.TraceExt{
+			TraceID: uint32(r.upgradeN),
+			Flags:   wire.TraceSampledFlag,
+		})
+	}
+	if up.TraceSampled() {
+		_ = up.AppendHopStamp(wire.TraceReshapeHop(up.ConfigID()), now)
+	}
 	r.stats.Upgraded++
 	if r.reshapeC != nil {
 		r.reshapeC.Inc()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dmtp"
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
+	"repro/internal/tracespan"
 	"repro/internal/wire"
 )
 
@@ -55,6 +56,9 @@ type ReceiverConfig struct {
 	// events (gap-detected, nak-sent, recovered, write-off). Nil disables
 	// flight recording.
 	Recorder *metrics.FlightRecorder
+	// Tracer, when non-nil, collects span records from sampled FeatTraced
+	// deliveries. Untraced and sampled-out messages never touch it.
+	Tracer *tracespan.Collector
 }
 
 // Message is one delivered message on the live path. It is the engine's
@@ -190,6 +194,7 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		},
 		LatencyHist: r.LatencyHist,
 		Recorder:    cfg.Recorder,
+		Tracer:      cfg.Tracer,
 	})
 	r.eng.SetSelf(self)
 	r.wg.Add(1)

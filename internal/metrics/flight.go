@@ -84,6 +84,18 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("kind-%d", uint8(k))
 }
 
+// EventKindFromName resolves a kebab-case kind name back to its EventKind —
+// the inverse of String, used by /events?kind= filtering so the query
+// vocabulary is exactly the recorded one.
+func EventKindFromName(name string) (EventKind, bool) {
+	for k, n := range eventKindNames {
+		if n == name {
+			return EventKind(k), true
+		}
+	}
+	return 0, false
+}
+
 // Event is one recorded protocol event. All fields are fixed-size scalars
 // so recording is allocation-free. At is substrate time in nanoseconds:
 // Unix nanoseconds on the live path, virtual nanoseconds since simulation

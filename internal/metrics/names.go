@@ -55,6 +55,16 @@ const (
 	// observed post-reshape config ID, e.g. "dmtp.relay.reshapes.config1".
 	MetricRelayReshapePrefix = "dmtp.relay.reshapes.config"
 
+	// In-band tracing metrics (internal/tracespan, registered through
+	// dmtp.RegisterTraceMetrics on both substrates).
+	MetricTraceSampled    = "dmtp.trace.sampled"
+	MetricTraceDropped    = "dmtp.trace.dropped"
+	MetricTraceRecoveryNs = "dmtp.trace.recovery_ns"
+	// MetricTraceSegmentOWDPrefix is a histogram family: one per-segment
+	// one-way-delay histogram per hop-span position, e.g.
+	// "dmtp.trace.segment_owd_ns.seg1" for the first transit segment.
+	MetricTraceSegmentOWDPrefix = "dmtp.trace.segment_owd_ns.seg"
+
 	// Shared packet-buffer pool metrics (wire.BufferPool).
 	MetricPoolGets     = "wire.pool.gets"
 	MetricPoolHits     = "wire.pool.hits"
@@ -130,6 +140,10 @@ var Catalog = []Info{
 	{MetricRelayRepointed, KindGauge, "packets", "transit packets re-homed to this buffer (StashTransit, simulator substrate)"},
 	{MetricRelayDroppedDown, KindGauge, "packets", "frames discarded while the buffer was crashed (simulator substrate)"},
 	{MetricRelayReshapePrefix + "*", KindCounter, "packets", "reshapes performed, one counter per resulting config ID"},
+	{MetricTraceSampled, KindGauge, "messages", "sampled traced messages delivered to the span collector"},
+	{MetricTraceDropped, KindGauge, "records", "trace records discarded by the collector's bounded ring"},
+	{MetricTraceRecoveryNs, KindHist, "ns", "gap-detection → delivery latency of NAK-recovered sampled messages"},
+	{MetricTraceSegmentOWDPrefix + "*", KindHist, "ns", "per-segment one-way delay of sampled messages, one histogram per hop-span position"},
 	{MetricPoolGets, KindGauge, "buffers", "buffers requested from the shared packet pool"},
 	{MetricPoolHits, KindGauge, "buffers", "pool requests satisfied by a recycled buffer"},
 	{MetricPoolMisses, KindGauge, "buffers", "pool requests that had to allocate"},

@@ -43,6 +43,13 @@ type ModeAction struct {
 	// DupGroup/DupScope configure FeatDuplicate when newly set.
 	DupGroup uint32
 	DupScope uint8
+
+	// TraceEvery, when positive, originates a sampled in-band trace on
+	// every TraceEvery'th transition whose packet does not already carry
+	// one — adding FeatTraced is just another config rewrite at the mode
+	// boundary. Packets arriving with a sampled trace keep it regardless
+	// (unless Clear strips FeatTraced) and get a reshape hop stamp.
+	TraceEvery int
 }
 
 type modeKey struct {
@@ -89,6 +96,11 @@ func (m *ModeChanger) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.Vie
 	}
 	before := pkt.Features()
 	want := before&^act.Clear | act.Set
+	originate := act.TraceEvery > 0 && !want.Has(wire.FeatTraced) &&
+		(m.Transitions+1)%uint64(act.TraceEvery) == 0
+	if originate {
+		want |= wire.FeatTraced
+	}
 	out, err := pkt.Reshape(act.NewConfigID, want)
 	if err != nil {
 		return nil, err
@@ -130,6 +142,22 @@ func (m *ModeChanger) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.Vie
 			return nil, err
 		}
 	}
+	if originate {
+		if err := out.SetTrace(wire.TraceExt{
+			TraceID:      uint32(m.Transitions + 1),
+			Flags:        wire.TraceSampledFlag,
+			OriginConfig: pkt.ConfigID(),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if out.TraceSampled() {
+		// The reshape itself is a hop: the stamp's config annotation records
+		// the mode the packet was rewritten into.
+		if err := out.AppendHopStamp(wire.TraceReshapeHop(act.NewConfigID), int64(ctx.Now().Nanos())); err != nil {
+			return nil, err
+		}
+	}
 	m.Transitions++
 	return out, nil
 }
@@ -159,6 +187,38 @@ func setDup(v wire.View, group uint32, scope uint8) error {
 	b[0], b[1], b[2], b[3] = byte(group>>24), byte(group>>16), byte(group>>8), byte(group)
 	b[4] = scope
 	return nil
+}
+
+// TraceStamper records this element's transit in sampled in-band traces:
+// one hop stamp per traced packet, written in place into the FeatTraced
+// ring (paper-style INT, but bounded to the extension's fixed slots).
+// Untraced and sampled-out packets pass through untouched at the cost of
+// one feature-bit test.
+type TraceStamper struct {
+	// HopID identifies this element in hop stamps; zero means the generic
+	// wire.TraceHopNet.
+	HopID uint8
+	// Stamped counts hop stamps written.
+	Stamped uint64
+}
+
+// Name implements Stage.
+func (t *TraceStamper) Name() string { return "trace-stamper" }
+
+// Process implements Stage.
+func (t *TraceStamper) Process(ctx *Context, pkt wire.View, meta *Meta) (wire.View, error) {
+	if pkt.IsControl() || !pkt.TraceSampled() {
+		return nil, nil
+	}
+	hop := t.HopID
+	if hop == 0 {
+		hop = wire.TraceHopNet
+	}
+	if err := pkt.AppendHopStamp(hop, int64(ctx.Now().Nanos())); err != nil {
+		return nil, err
+	}
+	t.Stamped++
+	return nil, nil
 }
 
 // Sequencer assigns per-flow sequence numbers to loss-recoverable streams

@@ -23,8 +23,10 @@ type Event struct {
 	Port     int
 	Src, Dst wire.Addr
 	Len      int
-	// DMTP fields; Kind is "data", "nak", "ack", "deadline", "bp",
-	// "advert", or "other" for non-DMTP frames.
+	// DMTP fields; Kind is one of the wire.Kind* constants ("data",
+	// "trace", "nak", "ack", "deadline", "bp", "advert", or "other" for
+	// non-DMTP frames) — the shared packet-kind vocabulary also used by
+	// flight-recorder dumps and tracespan labels.
 	Kind     string
 	ConfigID uint8
 	Features wire.Features
@@ -37,7 +39,7 @@ func (e Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%12v %-10s p%d  %v > %v  %4dB  %s",
 		e.At, e.Node, e.Port, e.Src, e.Dst, e.Len, e.Kind)
-	if e.Kind == "data" {
+	if e.Kind == wire.KindData || e.Kind == wire.KindTrace {
 		fmt.Fprintf(&b, " mode=%d [%v] %v", e.ConfigID, e.Features, e.Exp)
 		if e.Seq != 0 {
 			fmt.Fprintf(&b, " seq=%d", e.Seq)
@@ -102,29 +104,9 @@ func (t *Tap) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 	t.Inner.HandleFrame(ingress, f)
 }
 
-// classify names the frame type from its first bytes.
-func classify(b []byte) string {
-	v := wire.View(b)
-	if _, err := v.Check(); err != nil {
-		return "other"
-	}
-	switch v.ConfigID() {
-	case wire.ConfigNAK:
-		return "nak"
-	case wire.ConfigAck:
-		return "ack"
-	case wire.ConfigDeadlineExceeded:
-		return "deadline"
-	case wire.ConfigBackPressure:
-		return "bp"
-	case wire.ConfigResourceAdvert:
-		return "advert"
-	}
-	if v.IsControl() {
-		return "other"
-	}
-	return "data"
-}
+// classify names the frame type from its first bytes using the shared
+// packet-kind vocabulary in internal/wire.
+func classify(b []byte) string { return wire.KindOf(b) }
 
 // Events returns the retained events.
 func (t *Tap) Events() []Event { return t.events }

@@ -1,0 +1,252 @@
+package tracespan
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// delivery builds a Delivery whose trace carries the given hop stamps (in
+// stamping order) and is delivered at the given receiver time.
+func delivery(traceID uint32, at int64, hops ...wire.TraceHop) Delivery {
+	ext := wire.TraceExt{TraceID: traceID, Flags: wire.TraceSampledFlag}
+	for i, h := range hops {
+		ext.Hops[i%wire.TraceHopSlots] = wire.TraceHop{Hop: h.Hop, Stamp: h.Stamp & wire.TraceStampMask}
+	}
+	ext.HopCount = uint8(len(hops))
+	return Delivery{Trace: ext, Exp: wire.NewExperimentID(7, 0), Seq: uint64(traceID), ConfigID: 1, At: at}
+}
+
+// TestReconstruct pins the rebuild of absolute hop times from truncated
+// wire stamps: chronological order, delivery-relative absolute times, and
+// lost-slot accounting when the ring wrapped in flight.
+func TestReconstruct(t *testing.T) {
+	d := delivery(3, 5000,
+		wire.TraceHop{Hop: wire.TraceHopTx, Stamp: 1000},
+		wire.TraceHop{Hop: wire.TraceReshapeHop(1), Stamp: 2000},
+		wire.TraceHop{Hop: wire.TraceHopRetransmit, Stamp: 4000},
+	)
+	rec := reconstruct(d)
+	if rec.TraceID != 3 || rec.LostStamps != 0 || len(rec.Hops) != 3 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	wantAt := []int64{1000, 2000, 4000}
+	for i, h := range rec.Hops {
+		if h.At != wantAt[i] {
+			t.Errorf("hop[%d].At = %d, want %d", i, h.At, wantAt[i])
+		}
+	}
+	if got := rec.Structure(); got != "id=3 hops=tx>reshape:1>rtx>rx" {
+		t.Fatalf("Structure = %q", got)
+	}
+
+	// Six stamps through a four-slot ring: the two oldest are lost and the
+	// survivors come out chronological.
+	many := delivery(9, 10000,
+		wire.TraceHop{Hop: 0x10, Stamp: 100}, wire.TraceHop{Hop: 0x11, Stamp: 200},
+		wire.TraceHop{Hop: 0x12, Stamp: 300}, wire.TraceHop{Hop: 0x13, Stamp: 400},
+		wire.TraceHop{Hop: 0x14, Stamp: 500}, wire.TraceHop{Hop: 0x15, Stamp: 600},
+	)
+	rec = reconstruct(many)
+	if rec.LostStamps != 2 || len(rec.Hops) != wire.TraceHopSlots {
+		t.Fatalf("ring rec = %+v", rec)
+	}
+	for i, want := range []int64{300, 400, 500, 600} {
+		if rec.Hops[i].At != want {
+			t.Errorf("ring hop[%d].At = %d, want %d", i, rec.Hops[i].At, want)
+		}
+	}
+}
+
+// TestAbsStamp pins the 56-bit window arithmetic: stamps just before
+// delivery, stamps slightly in the future (clock skew), and stamps taken
+// from times wider than 56 bits.
+func TestAbsStamp(t *testing.T) {
+	const wide = int64(1) << 58 // delivery time exceeding the stamp width
+	cases := []struct {
+		delivered int64
+		stampFrom int64 // the absolute time the stamp was truncated from
+	}{
+		{delivered: 1_000_000, stampFrom: 999_000},
+		{delivered: 1_000_000, stampFrom: 1_000_500}, // future: skewed clock
+		{delivered: wide + 5000, stampFrom: wide + 1000},
+		{delivered: wide + 5000, stampFrom: wide - 3000}, // spans the wrap
+	}
+	for _, c := range cases {
+		stamp := uint64(c.stampFrom) & wire.TraceStampMask
+		if got := absStamp(c.delivered, stamp); got != c.stampFrom {
+			t.Errorf("absStamp(%d, %#x) = %d, want %d", c.delivered, stamp, got, c.stampFrom)
+		}
+	}
+}
+
+// TestSpans pins the span-tree expansion: transit spans chain hop→hop with
+// the last ending at delivery, delivery is a zero-length "rx" span, and a
+// recovered record grows a recovery span named after the flight-recorder
+// event kind.
+func TestSpans(t *testing.T) {
+	d := delivery(1, 900,
+		wire.TraceHop{Hop: wire.TraceHopTx, Stamp: 100},
+		wire.TraceHop{Hop: wire.TraceReshapeHop(2), Stamp: 300},
+	)
+	d.Recovered, d.DetectedAt, d.NAKs = true, 500, 1
+	spans := reconstruct(d).Spans()
+	want := []Span{
+		{Name: "tx", Start: 100, End: 300},
+		{Name: "reshape:2", Start: 300, End: 900},
+		{Name: "rx", Start: 900, End: 900},
+		{Name: metrics.EvRecovered.String(), Start: 500, End: 900},
+	}
+	if len(spans) != len(want) {
+		t.Fatalf("spans = %+v", spans)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Errorf("span[%d] = %+v, want %+v", i, spans[i], want[i])
+		}
+	}
+}
+
+// TestCollectorRingAndMetrics pins the bounded ring (oldest dropped,
+// dropped counter advances) and the histogram feed: per-segment OWD
+// observations land in the right family member and recoveries in the
+// recovery histogram.
+func TestCollectorRingAndMetrics(t *testing.T) {
+	c := NewCollector(2)
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	for i := uint32(1); i <= 3; i++ {
+		d := delivery(i, int64(i)*1000,
+			wire.TraceHop{Hop: wire.TraceHopTx, Stamp: uint64(i)*1000 - 500},
+		)
+		c.Observe(d)
+	}
+	if c.Sampled() != 3 || c.Dropped() != 1 {
+		t.Fatalf("sampled %d dropped %d, want 3/1", c.Sampled(), c.Dropped())
+	}
+	recs := c.Records()
+	if len(recs) != 2 || recs[0].TraceID != 2 || recs[1].TraceID != 3 {
+		t.Fatalf("ring kept %+v, want traces 2 and 3 oldest-first", recs)
+	}
+	seg1 := reg.Histogram(metrics.MetricTraceSegmentOWDPrefix + "1")
+	if seg1.Count() != 3 {
+		t.Fatalf("seg1 observations %d, want 3", seg1.Count())
+	}
+	if seg1.Max() != 500 {
+		t.Fatalf("seg1 max %d, want 500", seg1.Max())
+	}
+
+	rec := delivery(4, 8000, wire.TraceHop{Hop: wire.TraceHopTx, Stamp: 7000})
+	rec.Recovered, rec.DetectedAt = true, 7500
+	c.Observe(rec)
+	if h := reg.Histogram(metrics.MetricTraceRecoveryNs); h.Count() != 1 || h.Max() != 500 {
+		t.Fatalf("recovery hist count %d max %d, want 1/500", h.Count(), h.Max())
+	}
+
+	// The registered gauges sample the live counters.
+	snap := map[string]int64{}
+	for _, s := range reg.Snapshot() {
+		snap[s.Name] = s.Value
+	}
+	if snap[metrics.MetricTraceSampled] != 4 || snap[metrics.MetricTraceDropped] != 2 {
+		t.Fatalf("gauges %+v, want sampled=4 dropped=2", snap)
+	}
+}
+
+// TestNilCollector pins the nil-receiver contract components rely on: all
+// read and observe paths are safe no-ops on a nil *Collector.
+func TestNilCollector(t *testing.T) {
+	var c *Collector
+	c.Observe(Delivery{})
+	if c.Records() != nil || c.Sampled() != 0 || c.Dropped() != 0 || len(c.Structures()) != 0 {
+		t.Fatal("nil collector leaked state")
+	}
+}
+
+// TestWriteTraceJSON validates the exported document against the Chrome
+// trace-event schema: a traceEvents array whose "X" events carry
+// microsecond ts/dur on the normalised timebase, plus process/thread
+// metadata, all loadable by Perfetto.
+func TestWriteTraceJSON(t *testing.T) {
+	c := NewCollector(0)
+	d := delivery(5, 2000,
+		wire.TraceHop{Hop: wire.TraceHopTx, Stamp: 1000},
+		wire.TraceHop{Hop: wire.TraceReshapeHop(1), Stamp: 1400},
+	)
+	d.Recovered, d.DetectedAt, d.NAKs = true, 1600, 1
+	c.Observe(d)
+
+	var buf bytes.Buffer
+	if err := c.WriteTraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TsUs  float64        `json:"ts"`
+			DurUs float64        `json:"dur"`
+			Pid   uint32         `json:"pid"`
+			Tid   uint32         `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Phase]++
+		names[ev.Name] = true
+		if ev.Phase == "X" && ev.TsUs < 0 {
+			t.Fatalf("negative normalised ts: %+v", ev)
+		}
+	}
+	// 2 metadata events + tx, reshape, rx, recovered spans.
+	if phases["M"] != 2 || phases["X"] != 4 {
+		t.Fatalf("phase counts %v, want M=2 X=4", phases)
+	}
+	for _, n := range []string{"tx", "reshape:1", "rx", metrics.EvRecovered.String(), "process_name", "thread_name"} {
+		if !names[n] {
+			t.Fatalf("missing event %q in %v", n, names)
+		}
+	}
+}
+
+// TestWriteFlightTrace validates the instant-event export daemons use for
+// their protocol timelines.
+func TestWriteFlightTrace(t *testing.T) {
+	events := []metrics.Event{
+		{At: 1000, Kind: metrics.EvNAKSent, Exp: 7 << 8, Seq: 1},
+		{At: 2000, Kind: metrics.EvRecovered, Exp: 7 << 8, Seq: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteFlightTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TsUs  float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 || doc.TraceEvents[0].Phase != "i" {
+		t.Fatalf("events %+v", doc.TraceEvents)
+	}
+	if doc.TraceEvents[0].Name != metrics.EvNAKSent.String() || doc.TraceEvents[1].TsUs != 1 {
+		t.Fatalf("events %+v", doc.TraceEvents)
+	}
+}

@@ -156,6 +156,7 @@ type Header struct {
 	Dup          DupExt
 	Cipher       CipherExt
 	Timestamp    TimestampExt
+	Trace        TraceExt
 }
 
 // WireSize returns the encoded size of the header in bytes.
@@ -191,7 +192,7 @@ func (h *Header) AppendTo(b []byte) ([]byte, error) {
 		return b, nil
 	}
 
-	var scratch [16]byte
+	var scratch [maxExtSize]byte
 	for i := 0; i < featureCount; i++ {
 		bit := Features(1) << i
 		if h.Features&bit == 0 {
@@ -225,6 +226,8 @@ func (h *Header) AppendTo(b []byte) ([]byte, error) {
 			be.PutUint32(ext[4:8], h.Cipher.Nonce)
 		case FeatTimestamped:
 			be.PutUint64(ext, h.Timestamp.OriginNanos)
+		case FeatTraced:
+			h.Trace.put(ext)
 		}
 		b = append(b, ext...)
 	}
@@ -287,6 +290,8 @@ func (h *Header) DecodeFromBytes(b []byte) (n int, err error) {
 			h.Cipher.Nonce = be.Uint32(ext[4:8])
 		case FeatTimestamped:
 			h.Timestamp.OriginNanos = be.Uint64(ext)
+		case FeatTraced:
+			h.Trace = traceExtFromBytes(ext)
 		}
 		off += sz
 	}

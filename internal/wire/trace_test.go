@@ -1,0 +1,256 @@
+package wire_test
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// tracedPacket encodes a minimal FeatTraced data packet with the given
+// extension contents and a small payload.
+func tracedPacket(t *testing.T, ext wire.TraceExt) []byte {
+	t.Helper()
+	h := wire.Header{
+		ConfigID:   0,
+		Features:   wire.FeatTraced,
+		Experiment: wire.NewExperimentID(7, 1),
+		Trace:      ext,
+	}
+	pkt, err := h.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(pkt, []byte("payload")...)
+}
+
+// TestTraceRoundTrip pins the FeatTraced codec: every field of the 40-byte
+// extension survives encode → decode, including all four hop slots and the
+// 56-bit stamp truncation.
+func TestTraceRoundTrip(t *testing.T) {
+	ext := wire.TraceExt{
+		TraceID:      0xDEADBEEF,
+		Flags:        wire.TraceSampledFlag,
+		HopCount:     7,
+		OriginConfig: 3,
+	}
+	ext.Hops[0] = wire.TraceHop{Hop: wire.TraceHopTx, Stamp: 12345}
+	ext.Hops[1] = wire.TraceHop{Hop: wire.TraceReshapeHop(1), Stamp: 1<<56 - 1}
+	ext.Hops[2] = wire.TraceHop{Hop: wire.TraceHopRetransmit, Stamp: 999}
+	ext.Hops[3] = wire.TraceHop{Hop: wire.TraceHopNet, Stamp: 1}
+
+	v := wire.View(tracedPacket(t, ext))
+	if _, err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ext {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, ext)
+	}
+	if !v.TraceSampled() {
+		t.Fatal("TraceSampled = false for a sampled trace")
+	}
+	// A stamp wider than 56 bits must be truncated, not corrupt neighbors.
+	wide := ext
+	wide.Hops[0].Stamp = 1 << 60
+	v2 := wire.View(tracedPacket(t, wide))
+	got2, err := v2.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Hops[0].Stamp != 0 || got2.Hops[0].Hop != wire.TraceHopTx {
+		t.Fatalf("57-bit stamp not truncated: %+v", got2.Hops[0])
+	}
+}
+
+// TestTraceHopRing pins the ring semantics of AppendHopStamp: the slot
+// written is HopCount mod TraceHopSlots, HopCount counts every stamp, and
+// it saturates at 255 rather than wrapping to a misleading low count.
+func TestTraceHopRing(t *testing.T) {
+	v := wire.View(tracedPacket(t, wire.TraceExt{Flags: wire.TraceSampledFlag}))
+	for i := 0; i < 6; i++ {
+		if err := v.AppendHopStamp(uint8(0x10+i), int64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ext, err := v.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.HopCount != 6 {
+		t.Fatalf("HopCount = %d, want 6", ext.HopCount)
+	}
+	// Stamps 5 and 6 wrapped onto slots 0 and 1; slots 2 and 3 keep 3 and 4.
+	want := [wire.TraceHopSlots]wire.TraceHop{
+		{Hop: 0x14, Stamp: 1004}, {Hop: 0x15, Stamp: 1005},
+		{Hop: 0x12, Stamp: 1002}, {Hop: 0x13, Stamp: 1003},
+	}
+	if ext.Hops != want {
+		t.Fatalf("ring:\n got %+v\nwant %+v", ext.Hops, want)
+	}
+
+	// Saturation: drive HopCount to 255 and confirm it stays there.
+	for i := 0; i < 300; i++ {
+		if err := v.AppendHopStamp(wire.TraceHopNet, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ext, _ = v.Trace()
+	if ext.HopCount != 255 {
+		t.Fatalf("HopCount = %d, want saturated 255", ext.HopCount)
+	}
+}
+
+// TestTraceReshapePreserves pins the composition rule: a reshape that keeps
+// FeatTraced carries the extension bytes across the config rewrite, and a
+// reshape that adds FeatTraced leaves a zeroed, inert (unsampled) trace.
+func TestTraceReshapePreserves(t *testing.T) {
+	ext := wire.TraceExt{TraceID: 42, Flags: wire.TraceSampledFlag, HopCount: 1}
+	ext.Hops[0] = wire.TraceHop{Hop: wire.TraceHopTx, Stamp: 777}
+	v := wire.View(tracedPacket(t, ext))
+
+	up, err := v.Reshape(1, wire.FeatSequenced|wire.FeatReliable|wire.FeatTraced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := up.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ext {
+		t.Fatalf("trace lost in reshape:\n got %+v\nwant %+v", got, ext)
+	}
+	if string(up.Payload()) != "payload" {
+		t.Fatalf("payload corrupted: %q", up.Payload())
+	}
+
+	// Strip: reshaping without FeatTraced removes the extension.
+	down, err := up.Reshape(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.TraceSampled() {
+		t.Fatal("stripped packet still reports a sampled trace")
+	}
+	if _, err := down.Trace(); err == nil {
+		t.Fatal("Trace() should fail after the feature is stripped")
+	}
+
+	// Add: an untraced packet reshaped with FeatTraced gains a zeroed,
+	// unsampled extension — inert until an element sets the sampled flag.
+	h := wire.Header{ConfigID: 0, Experiment: wire.NewExperimentID(7, 1)}
+	plain, err := h.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := wire.View(plain).Reshape(1, wire.FeatTraced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added.TraceSampled() {
+		t.Fatal("freshly added trace must be unsampled")
+	}
+	if ae, err := added.Trace(); err != nil || ae != (wire.TraceExt{}) {
+		t.Fatalf("added trace not zeroed: %+v, %v", ae, err)
+	}
+}
+
+// TestTraceSampledDefensive pins the stash-probe contract: TraceSampled is
+// safe on arbitrary non-packet bytes (engines probe stash entries without a
+// prior Check) and on truncated traced packets.
+func TestTraceSampledDefensive(t *testing.T) {
+	for _, b := range [][]byte{nil, []byte("one"), make([]byte, 11)} {
+		if wire.View(b).TraceSampled() {
+			t.Fatalf("TraceSampled = true for %d junk bytes", len(b))
+		}
+	}
+	pkt := tracedPacket(t, wire.TraceExt{Flags: wire.TraceSampledFlag})
+	if !wire.View(pkt).TraceSampled() {
+		t.Fatal("full packet should be sampled")
+	}
+	// Truncated mid-extension: the probe must refuse, not read past the end.
+	if wire.View(pkt[:len(pkt)-30]).TraceSampled() {
+		t.Fatal("TraceSampled = true for a truncated extension")
+	}
+}
+
+// TestTraceHopNames pins the shared hop vocabulary.
+func TestTraceHopNames(t *testing.T) {
+	cases := map[uint8]string{
+		wire.TraceHopTx:         "tx",
+		wire.TraceHopRelay:      "relay",
+		wire.TraceHopRx:         "rx",
+		wire.TraceHopNet:        "net",
+		wire.TraceHopRetransmit: "rtx",
+		wire.TraceReshapeHop(3): "reshape",
+		0x7F:                    "hop",
+	}
+	for id, want := range cases {
+		if got := wire.TraceHopName(id); got != want {
+			t.Errorf("TraceHopName(%#x) = %q, want %q", id, got, want)
+		}
+	}
+	if cfg, ok := wire.TraceHopConfig(wire.TraceReshapeHop(5)); !ok || cfg != 5 {
+		t.Fatalf("TraceHopConfig(reshape 5) = %d, %v", cfg, ok)
+	}
+	if _, ok := wire.TraceHopConfig(wire.TraceHopTx); ok {
+		t.Fatal("TraceHopConfig accepted a non-reshape hop")
+	}
+}
+
+// TestTraceZeroAlloc locks in the datapath costs: probing untraced and
+// sampled-out packets, stamping a hop, and encoding a traced header all
+// allocate nothing.
+func TestTraceZeroAlloc(t *testing.T) {
+	h := wire.Header{ConfigID: 0, Experiment: wire.NewExperimentID(7, 1)}
+	plain, err := h.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsampled := tracedPacket(t, wire.TraceExt{TraceID: 9}) // flag clear
+	sampled := tracedPacket(t, wire.TraceExt{Flags: wire.TraceSampledFlag})
+
+	if avg := testing.AllocsPerRun(200, func() {
+		if wire.View(plain).TraceSampled() || wire.View(unsampled).TraceSampled() {
+			t.Fatal("false positive")
+		}
+	}); avg != 0 {
+		t.Fatalf("TraceSampled probe allocates %.1f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := wire.View(sampled).AppendHopStamp(wire.TraceHopNet, 12345); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("AppendHopStamp allocates %.1f allocs/op, want 0", avg)
+	}
+
+	th := wire.Header{
+		ConfigID:   0,
+		Features:   wire.FeatTraced,
+		Experiment: wire.NewExperimentID(7, 1),
+		Trace:      wire.TraceExt{TraceID: 1, Flags: wire.TraceSampledFlag, HopCount: 1},
+	}
+	buf := make([]byte, 0, 256)
+	if avg := testing.AllocsPerRun(200, func() {
+		out, err := th.AppendTo(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	}); avg != 0 {
+		t.Fatalf("traced encode allocates %.1f allocs/op, want 0", avg)
+	}
+
+	// Reshape preserving FeatTraced into a warm destination: still zero.
+	dst := make([]byte, 0, 2048)
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := wire.View(sampled).ReshapeInto(dst, 1, wire.FeatSequenced|wire.FeatTraced); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("traced ReshapeInto allocates %.1f allocs/op, want 0", avg)
+	}
+}

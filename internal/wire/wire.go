@@ -117,6 +117,12 @@ const (
 	// FeatTimestamped carries the origin timestamp of the datagram, used
 	// for end-to-end latency accounting.
 	FeatTimestamped
+	// FeatTraced carries an in-band distributed trace: a trace ID, a
+	// sampling decision, and a small ring of per-hop timestamps stamped by
+	// every element that touches the packet. Because tracing is a feature
+	// like any other, network elements add or strip it with an ordinary
+	// config rewrite (see trace.go).
+	FeatTraced
 
 	featureCount = iota
 )
@@ -126,7 +132,7 @@ const AllFeatures Features = 1<<featureCount - 1
 
 // featureNames indexes feature bit position to a short name.
 var featureNames = [featureCount]string{
-	"seq", "rel", "timely", "age", "paced", "bp", "dup", "enc", "ts",
+	"seq", "rel", "timely", "age", "paced", "bp", "dup", "enc", "ts", "trace",
 }
 
 // extSizes indexes feature bit position to the byte size of its extension
@@ -142,6 +148,7 @@ var extSizes = [featureCount]int{
 	8,  // FeatDuplicate: group ID (4) + scope (1) + reserved (3)
 	8,  // FeatEncrypted: key epoch (4) + nonce (4)
 	8,  // FeatTimestamped: origin time ns (8)
+	40, // FeatTraced: trace ID (4) + flags (1) + hop count (1) + origin config (1) + reserved (1) + 4 hop slots (8 each)
 }
 
 // Has reports whether all feature bits in mask are set in f.
