@@ -10,7 +10,8 @@
 // loss sweep + alert fan-out + back-pressure), e4 (Fig 4 pilot), e5
 // (fault-tolerance chaos matrix), a1
 // (buffer placement), a2 (HOL blocking), a4 (capacity planning), a5
-// (deadline-aware AQM), a6 (buffer sizing).
+// (deadline-aware AQM), a6 (buffer sizing), c1 (campaign fault-sweep
+// matrix, aggregated by fault class; cmd/campaign runs the full sweep).
 //
 // With -json the tables are suppressed and a machine-readable benchmark
 // document (schema "benchtab/v1") is written to stdout instead: run
@@ -68,7 +69,7 @@ type benchDoc struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1,e2,e3,e4,e5,a1,a2,a4,a5,a6,t1 or all")
+	exp := flag.String("exp", "all", "experiment id: e1,e2,e3,e4,e5,a1,a2,a4,a5,a6,t1,c1 or all")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	messages := flag.Int("messages", 1000, "messages per run")
 	jsonOut := flag.Bool("json", false, "suppress tables; emit a benchtab/v1 JSON benchmark document")
@@ -160,6 +161,9 @@ func main() {
 	section("a6", "Ablation: retransmission-buffer sizing", func(w io.Writer) {
 		fmt.Fprint(w, experiments.A6Table(experiments.A6BufferSizing(nil, 10*(*messages), *seed)))
 	})
+	section("c1", "Campaign: fault-sweep matrix, oracle-judged", func(w io.Writer) {
+		fmt.Fprint(w, experiments.C1Table(experiments.C1Campaign(1, *seed)))
+	})
 	var traceOWD []traceSeg
 	section("t1", "Traced pipeline: per-segment one-way delay", func(w io.Writer) {
 		res := experiments.TraceOWD(*messages, *seed)
@@ -173,7 +177,7 @@ func main() {
 	})
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1,e2,e3,e4,e5,a1,a2,a4,a5,a6,t1 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1,e2,e3,e4,e5,a1,a2,a4,a5,a6,t1,c1 or all)\n", *exp)
 		os.Exit(2)
 	}
 	if *jsonOut {

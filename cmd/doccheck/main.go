@@ -29,6 +29,7 @@ var defaultPackages = []string{
 	"./internal/faults",
 	"./internal/debugsrv",
 	"./internal/tracespan",
+	"./internal/campaign",
 }
 
 func main() {

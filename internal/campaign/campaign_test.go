@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEnumerateCovers pins the cross-product size and ordering: the cell
+// list is seed-major and its IDs are unique and parseable.
+func TestEnumerateCovers(t *testing.T) {
+	spec := Spec{Seed: 5, Seeds: 2}
+	cells := Enumerate(spec)
+	want := 2 * len(Topologies) * len(Faults) * len(Workloads)
+	if len(cells) != want {
+		t.Fatalf("enumerated %d cells, want %d", len(cells), want)
+	}
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		id := c.ID()
+		if seen[id] {
+			t.Fatalf("duplicate cell ID %s", id)
+		}
+		seen[id] = true
+		back, err := ParseCellID(id)
+		if err != nil {
+			t.Fatalf("ParseCellID(%q): %v", id, err)
+		}
+		if back != c {
+			t.Fatalf("round trip: %+v != %+v", back, c)
+		}
+	}
+	if cells[0].Seed != 5 || cells[len(cells)-1].Seed != 6 {
+		t.Fatalf("seed ordering wrong: first %+v last %+v", cells[0], cells[len(cells)-1])
+	}
+}
+
+func TestParseCellIDRejectsUnknown(t *testing.T) {
+	for _, id := range []string{
+		"", "s1", "s1-single-clean", "x1-single-clean-steady",
+		"s1-ring-clean-steady", "s1-single-meteor-steady", "s1-single-clean-chatty",
+		"sX-single-clean-steady",
+	} {
+		if _, err := ParseCellID(id); err == nil {
+			t.Errorf("ParseCellID(%q) accepted a malformed ID", id)
+		}
+	}
+}
+
+// TestCampaignAllCellsPass runs one full seed — every topology × fault ×
+// workload — and requires a clean bill from every oracle.
+func TestCampaignAllCellsPass(t *testing.T) {
+	m := Run(Spec{Seed: 3, Seeds: 1})
+	if m.Cells != len(Topologies)*len(Faults)*len(Workloads) {
+		t.Fatalf("cells %d", m.Cells)
+	}
+	for _, r := range m.Results {
+		if r.Outcome != "ok" {
+			t.Errorf("cell %s: %v", r.ID, r.Violations)
+		}
+	}
+	// The sweep must have exercised the interesting paths somewhere.
+	var recovered, lost, dups, crashes, rejected uint64
+	for _, r := range m.Results {
+		recovered += r.Recovered
+		lost += r.Lost
+		dups += r.Duplicates
+		crashes += r.Crashes
+		rejected += r.Rejected
+	}
+	if recovered == 0 || lost == 0 || dups == 0 || crashes == 0 {
+		t.Fatalf("sweep did not exercise all loss paths: recovered=%d lost=%d dups=%d crashes=%d",
+			recovered, lost, dups, crashes)
+	}
+	_ = rejected // corrupt cells may or may not hit the seq field
+}
+
+// TestMatrixByteIdentical is the determinism acceptance criterion: two
+// runs of the same spec — and a third with a different worker count —
+// must marshal to identical bytes.
+func TestMatrixByteIdentical(t *testing.T) {
+	spec := Spec{Seed: 9, Seeds: 1, Workers: 4}
+	a, err := Run(spec).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("matrix differs between identical runs")
+	}
+	spec.Workers = 1
+	c, err := Run(spec).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("matrix depends on worker count")
+	}
+}
+
+// TestSelfTest runs the oracle self-test: healthy cells pass, a biased
+// gap-detection floor is caught.
+func TestSelfTest(t *testing.T) {
+	if err := SelfTest(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveReplaySample replays one cell's derived scenario on the live
+// substrate and requires a clean transcript diff.
+func TestLiveReplaySample(t *testing.T) {
+	lr := runLiveReplay(Cell{Seed: 2, Topology: "single", Fault: "gilbert", Workload: "steady"})
+	if lr.Err != "" {
+		t.Fatalf("live replay error: %s", lr.Err)
+	}
+	if !lr.Ok {
+		t.Fatalf("live replay diverged: %v", lr.Diffs)
+	}
+}
+
+// TestReproMatchesCampaign pins the repro workflow: re-running a single
+// cell standalone yields exactly the result the full sweep recorded.
+func TestReproMatchesCampaign(t *testing.T) {
+	spec := Spec{Seed: 4, Seeds: 1}
+	m := Run(spec)
+	pick := m.Results[13] // arbitrary mid-matrix cell
+	cell, err := ParseCellID(pick.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := runCell(cell, spec)
+	if again.Outcome != pick.Outcome || again.Delivered != pick.Delivered ||
+		again.Recovered != pick.Recovered || again.Lost != pick.Lost ||
+		again.NAKsSent != pick.NAKsSent || again.ElapsedVirtualNs != pick.ElapsedVirtualNs {
+		t.Fatalf("repro of %s diverged:\nsweep %+v\nrepro %+v", pick.ID, pick, again)
+	}
+}

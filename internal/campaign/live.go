@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"time"
+
+	"repro/internal/conformance"
+	"repro/internal/faults"
+)
+
+// liveScenario derives the scripted differential scenario a sampled cell
+// replays on the live UDP substrate. Probabilistic fault plans cannot run
+// there bit-identically (the live elapsed clock is wall time), so the
+// replay uses the index-space scripted forms — a seed-dependent drop, a
+// duplication, and a two-packet index flap — which internal/conformance
+// executes identically on both substrates.
+func liveScenario(cell Cell) conformance.Scenario {
+	drop := 3 + uint64(cell.Seed%3)     // 3..5: a warm recoverable loss
+	flapFrom := 8 + uint64(cell.Seed%2) // 8..9: a short mid-stream flap
+	return conformance.Scenario{
+		Messages:    14,
+		Interval:    time.Millisecond,
+		Experiment:  777,
+		DropEgress:  []uint64{drop},
+		DupEgress:   []uint64{flapFrom + 4},
+		FlapEgress:  []faults.IndexWindow{{From: flapFrom, To: flapFrom + 1}},
+		NAKDelay:    1500 * time.Microsecond,
+		NAKRetry:    4 * time.Millisecond,
+		NAKRetryMax: 12 * time.Millisecond,
+		MaxNAKs:     3,
+		Seed:        cell.Seed,
+		FaultSeed:   cell.Seed,
+		TraceSample: 1,
+	}
+}
+
+// runLiveReplay executes the cell's derived scenario on both substrates
+// and records the transcript diff. The outcome is deterministic — both
+// transcripts are pure functions of the scenario — so sampled cells keep
+// the matrix byte-identical across runs.
+func runLiveReplay(cell Cell) LiveResult {
+	sc := liveScenario(cell)
+	simTr := conformance.RunSim(sc)
+	liveTr, err := conformance.RunLive(sc)
+	if err != nil {
+		return LiveResult{Err: err.Error()}
+	}
+	diffs := conformance.Diff(simTr, liveTr)
+	return LiveResult{Ok: len(diffs) == 0, Diffs: diffs}
+}

@@ -1,0 +1,46 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/dmtp"
+)
+
+// SelfTest proves the oracle library can actually fail: it runs two
+// healthy cells (expecting a clean bill) and then re-runs a loss cell
+// against a deliberately broken engine — the gap-detection floor biased
+// by one via dmtp.GapFloorBias, which silently stops tracking a
+// single-packet gap right above the floor — expecting the delivery
+// ledger to report the hole. A harness whose oracles cannot fire is not
+// evidence (the same argument the conformance suite's self-test makes).
+//
+// The bias is process-global, so SelfTest runs its cells sequentially
+// and must not run concurrently with another campaign.
+func SelfTest() error {
+	spec := Spec{Seed: 1, Workers: 1}
+
+	healthy := []Cell{
+		{Seed: 1, Topology: "single", Fault: "clean", Workload: "steady"},
+		{Seed: 1, Topology: "single", Fault: "crash", Workload: "steady"},
+	}
+	for _, c := range healthy {
+		r := runCell(c, spec)
+		if r.Outcome != "ok" {
+			return fmt.Errorf("campaign selftest: healthy cell %s reported %v", c.ID(), r.Violations)
+		}
+	}
+	// The crash cell must have exercised the write-off path, or the
+	// biased rerun below would not prove anything.
+	crashRes := runCell(healthy[1], spec)
+	if crashRes.Lost == 0 || crashRes.Recovered == 0 {
+		return fmt.Errorf("campaign selftest: crash cell exercised neither loss path: %+v", crashRes)
+	}
+
+	dmtp.GapFloorBias = 1
+	defer func() { dmtp.GapFloorBias = 0 }()
+	broken := runCell(healthy[1], spec)
+	if broken.Outcome == "ok" {
+		return fmt.Errorf("campaign selftest: oracles passed a biased gap floor — the harness cannot detect broken engines")
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/wire"
 )
 
@@ -38,6 +39,14 @@ type Scenario struct {
 	// retransmissions, in send order) dropped on the buffer→receiver leg
 	// — faults.Spec.DropPackets on both substrates.
 	DropEgress []uint64
+	// DupEgress lists 1-based egress data-packet indices duplicated on the
+	// buffer→receiver leg — faults.Spec.DupPackets on both substrates.
+	DupEgress []uint64
+	// FlapEgress lists index-space link-down windows on the same leg —
+	// faults.Spec.DropWindows on both substrates. Index windows, not
+	// elapsed-clock Flaps, because only the offered-packet count is
+	// identical across virtual and wall clocks.
+	FlapEgress []faults.IndexWindow
 	// CrashAt, when nonzero, crash+restarts the buffer node at this
 	// virtual instant, colding its retransmission stash.
 	CrashAt time.Duration

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/dmtp"
+	"repro/internal/faults"
 )
 
 // acceptanceScenario is the canonical differential run: twenty messages
@@ -99,6 +100,73 @@ func TestDifferentialTraceSpans(t *testing.T) {
 	}
 	if direct != sc.Messages-2 {
 		t.Fatalf("direct spans %d, want %d: %v", direct, sc.Messages-2, simTr.Spans)
+	}
+}
+
+// TestDifferentialFlapDupDuringReshape is the second seeded differential
+// scenario: a three-packet index-space link flap plus scripted duplication
+// on the buffer→receiver leg while the relay reshape is in flight. Egress
+// index 4 duplicates a forward; index 12 lands on a retransmission (the
+// NAK for the flapped 7–9 window fires between forwards 11 and 12, so the
+// three retransmissions occupy egress indices 12–14), exercising the
+// duplicate-of-recovery path. Both substrates must agree on delivery
+// order, NAK ranges, duplicate counts, and span structures.
+func TestDifferentialFlapDupDuringReshape(t *testing.T) {
+	sc := Scenario{
+		Messages:    24,
+		Interval:    time.Millisecond,
+		Experiment:  777,
+		FlapEgress:  []faults.IndexWindow{{From: 7, To: 9}},
+		DupEgress:   []uint64{4, 12},
+		NAKDelay:    1500 * time.Microsecond,
+		NAKRetry:    4 * time.Millisecond,
+		NAKRetryMax: 12 * time.Millisecond,
+		MaxNAKs:     3,
+		Seed:        11,
+		FaultSeed:   11,
+		TraceSample: 1,
+	}
+	simTr := RunSim(sc)
+	liveTr, err := RunLive(sc)
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	for _, d := range Diff(simTr, liveTr) {
+		t.Errorf("divergence: %s", d)
+	}
+
+	// Scenario sanity (sim transcript; the diff extends it to live): the
+	// whole flap window was recovered, nothing was written off, and both
+	// scripted duplicates — one of a forward, one of a retransmission —
+	// were detected and suppressed.
+	if simTr.Totals.Recovered != 3 || simTr.Totals.Lost != 0 {
+		t.Fatalf("flap window not fully recovered: %+v", simTr.Totals)
+	}
+	if simTr.Totals.Duplicates != 2 {
+		t.Fatalf("duplicates %d, want 2: %+v", simTr.Totals.Duplicates, simTr.Totals)
+	}
+	if simTr.Totals.Delivered != uint64(sc.Messages) {
+		t.Fatalf("delivered %d, want %d", simTr.Totals.Delivered, sc.Messages)
+	}
+	if len(simTr.Gaps) != 0 {
+		t.Fatalf("unexpected write-offs: %v", simTr.Gaps)
+	}
+	// Every delivery is traced; exactly the three flapped messages carry
+	// the retransmit-shaped span (duplicates never add span records).
+	if len(simTr.Spans) != sc.Messages {
+		t.Fatalf("span records %d, want %d: %v", len(simTr.Spans), sc.Messages, simTr.Spans)
+	}
+	recovered := 0
+	for _, s := range simTr.Spans {
+		switch s {
+		case "id=7 hops=tx>reshape:1>rtx>rx recovered",
+			"id=8 hops=tx>reshape:1>rtx>rx recovered",
+			"id=9 hops=tx>reshape:1>rtx>rx recovered":
+			recovered++
+		}
+	}
+	if recovered != 3 {
+		t.Fatalf("recovered spans %d, want 3: %v", recovered, simTr.Spans)
 	}
 }
 

@@ -26,7 +26,12 @@ const liveWaitTimeout = 10 * time.Second
 // the same event interleaving as the simulator.
 func RunLive(sc Scenario) (*Transcript, error) {
 	fc := dmtp.NewFakeClock(0)
-	plan := faults.New(faults.Spec{Seed: sc.FaultSeed, DropPackets: sc.DropEgress})
+	plan := faults.New(faults.Spec{
+		Seed:        sc.FaultSeed,
+		DropPackets: sc.DropEgress,
+		DupPackets:  sc.DupEgress,
+		DropWindows: sc.FlapEgress,
+	})
 	tr := &Transcript{}
 	tracer := tracespan.NewCollector(0)
 	var mu sync.Mutex
@@ -95,8 +100,10 @@ func RunLive(sc Scenario) (*Transcript, error) {
 				return false
 			}
 			rs := relay.Stats() // re-read: NAK service may have retransmitted
-			drops := plan.Counters().Get(faults.CounterDropScripted)
-			expected := rs.Forwarded + rs.Retransmits - drops
+			drops := plan.Counters().Get(faults.CounterDropScripted) +
+				plan.Counters().Get(faults.CounterDropFlap)
+			expected := rs.Forwarded + rs.Retransmits +
+				plan.Counters().Get(faults.CounterDuplicate) - drops
 			mu.Lock()
 			dispatched := uint64(len(tr.Delivered))
 			mu.Unlock()

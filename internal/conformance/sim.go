@@ -28,7 +28,12 @@ var confMode = core.Mode{
 // its exact virtual instant, and the loop runs to quiescence.
 func RunSim(sc Scenario) *Transcript {
 	nw := netsim.New(1)
-	plan := faults.New(faults.Spec{Seed: sc.FaultSeed, DropPackets: sc.DropEgress})
+	plan := faults.New(faults.Spec{
+		Seed:        sc.FaultSeed,
+		DropPackets: sc.DropEgress,
+		DupPackets:  sc.DupEgress,
+		DropWindows: sc.FlapEgress,
+	})
 	tr := &Transcript{}
 	tracer := tracespan.NewCollector(0)
 

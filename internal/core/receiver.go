@@ -31,6 +31,11 @@ type ReceiverConfig struct {
 	// each receiver its own seed so synchronized gaps don't NAK in
 	// lockstep (the live path always jittered; the engine unifies it).
 	Seed int64
+	// MaxSeqJump bounds the forward sequence jump accepted from a single
+	// packet (corruption guard); zero means dmtp.DefaultMaxSeqJump.
+	// Fault campaigns that flip header bits tighten this so a corrupted
+	// sequence field cannot demand absurd gap state.
+	MaxSeqJump uint64
 	// OnGap reports each sequence number written off as permanently lost
 	// after MaxNAKs — the deliver-with-gap degradation signal.
 	OnGap func(exp wire.ExperimentID, seq uint64)
@@ -133,6 +138,7 @@ func NewReceiverHandler(nw *netsim.Network, cfg ReceiverConfig) *Receiver {
 			NAKRetryMax:     cfg.NAKRetryMax,
 			MaxNAKs:         cfg.MaxNAKs,
 			Seed:            cfg.Seed,
+			MaxSeqJump:      cfg.MaxSeqJump,
 			AckInterval:     cfg.AckInterval,
 			Ordered:         cfg.Ordered,
 			OnGap:           cfg.OnGap,

@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -120,7 +121,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if kindName := q.Get("kind"); kindName != "" {
 		kind, ok := metrics.EventKindFromName(kindName)
 		if !ok {
-			http.Error(w, fmt.Sprintf("unknown event kind %q", kindName), http.StatusBadRequest)
+			http.Error(w, fmt.Sprintf("unknown event kind %q (valid kinds: %s)",
+				kindName, strings.Join(metrics.EventKindNames(), ", ")), http.StatusBadRequest)
 			return
 		}
 		kept := events[:0]

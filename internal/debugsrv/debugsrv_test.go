@@ -297,6 +297,42 @@ func TestDebugEventsFilters(t *testing.T) {
 	}
 }
 
+// TestDebugEventsUnknownKindListsValid pins the error contract for
+// /events?kind=: an unknown kind is a 400 whose body names the offending
+// value and enumerates every valid kind, so the operator's typo comes
+// back with the fix attached.
+func TestDebugEventsUnknownKindListsValid(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv, err := debugsrv.New(debugsrv.Config{
+		Addr: "127.0.0.1:0", Registry: reg, Recorder: metrics.NewFlightRecorder(16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events?kind=nak-snet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"nak-snet"`) {
+		t.Fatalf("body does not echo the bad kind: %q", body)
+	}
+	for _, kind := range metrics.EventKindNames() {
+		if !strings.Contains(string(body), kind) {
+			t.Fatalf("body is missing valid kind %q: %q", kind, body)
+		}
+	}
+}
+
 // TestDebugTraceEndpoint covers /trace: the span collector's records come
 // back as Chrome trace-event JSON, and a nil collector yields a valid
 // empty document.

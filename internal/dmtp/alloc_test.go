@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/tracespan"
 	"repro/internal/wire"
 )
@@ -79,6 +80,48 @@ func TestIngestUntracedZeroAlloc(t *testing.T) {
 				t.Fatalf("collector observed %d records from %s packets", tracer.Sampled(), tc.name)
 			}
 		})
+	}
+}
+
+// TestCampaignScenarioLoopZeroAlloc locks in the invariant the campaign
+// runner's throughput rests on: the per-packet path a clean steady-state
+// scenario drives — sequence assignment, stash, in-order ingest, and the
+// periodic cumulative trim — allocates nothing once warm. Scenario setup
+// may allocate; the driven loop must not, or thousand-cell sweeps stop
+// being cheap.
+func TestCampaignScenarioLoopZeroAlloc(t *testing.T) {
+	fc := NewFakeClock(0)
+	rec := metrics.NewFlightRecorder(64)
+	exp := wire.NewExperimentID(7, 0)
+	buf := NewBufferEngine(nopDatapath{}, BufferConfig{Clock: fc, Recorder: rec})
+	eng := NewReceiverEngine(fc, nopDatapath{}, ReceiverConfig{
+		NAKDelay:    time.Millisecond,
+		NAKRetry:    5 * time.Millisecond,
+		NAKRetryMax: 500 * time.Millisecond,
+		MaxNAKs:     3,
+		Recorder:    rec,
+		// As in TestIngestUntracedZeroAlloc: the default finalize copies the
+		// payload (one unavoidable alloc); bypass it to measure the engines.
+		FinalizePayload: func(wire.View) []byte { return nil },
+	})
+	warm := seqPacket(t, 1, wire.AddrFrom(10, 0, 0, 1, 100), "payload")
+	stash := append([]byte(nil), warm...) // engine-owned stash copy, allocated in setup
+	step := func() {
+		seq := buf.NextSeq(exp)
+		buf.Stash(exp, seq, stash)
+		if err := warm.SetSeq(seq); err != nil {
+			t.Fatal(err)
+		}
+		eng.Ingest(warm)
+		if seq%16 == 0 {
+			buf.Trim(exp, seq)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		step() // warm: map buckets, order-ring capacity, stream state
+	}
+	if avg := testing.AllocsPerRun(300, step); avg != 0 {
+		t.Fatalf("campaign scenario loop allocates %.2f allocs/op, want 0", avg)
 	}
 }
 

@@ -12,6 +12,11 @@ import (
 type BufferStats struct {
 	Buffered      uint64
 	BufferedBytes uint64
+	// ReleasedBytes counts every stashed byte the engine let go of
+	// (eviction, trim, crash) — the balance counter for the campaign's
+	// stash-release oracle: BufferedBytes − ReleasedBytes must equal
+	// current occupancy at every quiescent point.
+	ReleasedBytes uint64
 	Evicted       uint64
 	Trimmed       uint64 // dropped after cumulative ACK
 	NAKs          uint64
@@ -112,8 +117,9 @@ func (b *BufferEngine) Crash() {
 	if b.cfg.Recorder != nil {
 		b.cfg.Recorder.RecordAt(b.cfg.Clock.Now(), metrics.EvCrash, 0, 0, uint64(b.bytes))
 	}
-	if b.cfg.Release != nil {
-		for _, pkt := range b.store {
+	for _, pkt := range b.store {
+		b.stats.ReleasedBytes += uint64(len(pkt))
+		if b.cfg.Release != nil {
 			b.cfg.Release(pkt)
 		}
 	}
@@ -148,6 +154,7 @@ func (b *BufferEngine) Stash(exp wire.ExperimentID, seq uint64, pkt []byte) {
 			if b.cfg.Release != nil {
 				b.cfg.Release(old)
 			}
+			b.stats.ReleasedBytes += uint64(len(old))
 			b.stats.Evicted++
 			if b.cfg.Recorder != nil {
 				b.cfg.Recorder.RecordAt(b.cfg.Clock.Now(), metrics.EvEvict,
@@ -213,6 +220,7 @@ func (b *BufferEngine) Trim(exp wire.ExperimentID, cum uint64) {
 				if b.cfg.Release != nil {
 					b.cfg.Release(old)
 				}
+				b.stats.ReleasedBytes += uint64(len(old))
 				b.stats.Trimmed++
 				released++
 			}

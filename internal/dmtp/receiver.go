@@ -42,7 +42,16 @@ type ReceiverStats struct {
 	Aged        uint64
 	Late        uint64
 	Unsequenced uint64
+	// Rejected counts packets discarded by the MaxSeqJump corruption
+	// guard: their sequence field jumped implausibly far ahead.
+	Rejected uint64
 }
+
+// DefaultMaxSeqJump is the forward sequence jump a receiver accepts from
+// a single packet when ReceiverConfig.MaxSeqJump is zero. Real streams
+// gap by at most a few thousand sequences (rate × recovery window); a
+// corrupted sequence field gaps by up to 2^63.
+const DefaultMaxSeqJump = 1 << 20
 
 // ReceiverConfig configures a ReceiverEngine. Adapters apply their own
 // substrate defaults (the simulator's reorder tolerance is hundreds of
@@ -63,6 +72,13 @@ type ReceiverConfig struct {
 	MaxNAKs int
 	// Seed drives the retry jitter, for deterministic tests.
 	Seed int64
+	// MaxSeqJump bounds the forward sequence jump accepted from a single
+	// packet. The gap tracker materialises per-sequence recovery state
+	// for every number between maxSeen and an arriving seq, so one
+	// corrupted sequence field could otherwise demand ~2^63 entries.
+	// Packets jumping further are dropped and counted as Rejected. Zero
+	// means DefaultMaxSeqJump.
+	MaxSeqJump uint64
 	// AckInterval, when nonzero, emits cumulative ACKs to the buffer so
 	// it can trim acknowledged packets.
 	AckInterval time.Duration
@@ -167,6 +183,9 @@ func NewReceiverEngine(clock Clock, dp Datapath, cfg ReceiverConfig) *ReceiverEn
 	if stats == nil {
 		stats = &ReceiverStats{}
 	}
+	if cfg.MaxSeqJump == 0 {
+		cfg.MaxSeqJump = DefaultMaxSeqJump
+	}
 	return &ReceiverEngine{
 		cfg:     cfg,
 		clock:   clock,
@@ -267,6 +286,15 @@ func (e *ReceiverEngine) Ingest(v wire.View) {
 	msg.Seq = seq
 
 	st := e.stream(exp, now)
+	if seq > st.maxSeen && seq-st.maxSeen > e.cfg.MaxSeqJump {
+		// A forward jump this large is a corrupted sequence field, not
+		// real traffic: accepting it would materialise recovery state
+		// for every sequence in between. Reject the packet outright;
+		// if it was genuine, its NAKed retransmission will arrive with
+		// the stream caught up.
+		e.stats.Rejected++
+		return
+	}
 	if feats.Has(wire.FeatReliable) {
 		if buf, err := v.RetransmitBuffer(); err == nil && !buf.IsZero() {
 			st.buffer = buf

@@ -53,6 +53,20 @@ func (f Flap) contains(elapsed time.Duration) bool {
 	return elapsed >= f.Start && elapsed < f.Start+f.Len
 }
 
+// IndexWindow is a scripted link-down window in packet-index space: every
+// packet whose 1-based index i satisfies From ≤ i ≤ To is dropped. Unlike
+// Flaps, which consult the substrate's elapsed clock (wall time on the
+// live path), index windows depend only on the offered-packet count, so
+// the same window drops the same packets on both substrates — the form
+// the differential conformance scenarios and the campaign runner use.
+type IndexWindow struct {
+	From, To uint64
+}
+
+func (w IndexWindow) contains(idx uint64) bool {
+	return idx >= w.From && idx <= w.To
+}
+
 // Spec declares a fault schedule. The zero value injects nothing.
 type Spec struct {
 	// Seed drives every probabilistic decision. Two Plans with equal
@@ -84,9 +98,19 @@ type Spec struct {
 	// Flaps are scripted link-down windows.
 	Flaps []Flap
 
+	// DropWindows are scripted link-down windows in packet-index space,
+	// counted as flap drops. They are the substrate-deterministic form of
+	// Flaps: the live path's elapsed clock is wall time, so only index
+	// windows reproduce identically there.
+	DropWindows []IndexWindow
+
 	// DropPackets drops the listed 1-based packet indices outright —
 	// exact scripted losses for table-driven tests.
 	DropPackets []uint64
+
+	// DupPackets duplicates the listed 1-based packet indices — exact
+	// scripted duplication for table-driven differential tests.
+	DupPackets []uint64
 }
 
 func (s Spec) withDefaults() Spec {
@@ -127,6 +151,7 @@ type Plan struct {
 	pToGood float64
 	packets uint64
 	drops   map[uint64]bool
+	dups    map[uint64]bool
 
 	counters *telemetry.CounterSet
 }
@@ -138,10 +163,14 @@ func New(spec Spec) *Plan {
 		spec:     spec,
 		rng:      rand.New(rand.NewSource(spec.Seed)),
 		drops:    make(map[uint64]bool, len(spec.DropPackets)),
+		dups:     make(map[uint64]bool, len(spec.DupPackets)),
 		counters: telemetry.NewCounterSet(),
 	}
 	for _, idx := range spec.DropPackets {
 		p.drops[idx] = true
+	}
+	for _, idx := range spec.DupPackets {
+		p.dups[idx] = true
 	}
 	// Gilbert transitions: P(bad→good) = 1/meanBurstLen; solve
 	// P(good→bad) so the stationary bad fraction equals BurstLoss.
@@ -196,6 +225,8 @@ func (p *Plan) Decide(elapsed time.Duration) Decision {
 	switch {
 	case p.drops[p.packets]:
 		d.Drop, d.Kind = true, CounterDropScripted
+	case p.windowed(p.packets):
+		d.Drop, d.Kind = true, CounterDropFlap
 	case p.flapped(elapsed):
 		d.Drop, d.Kind = true, CounterDropFlap
 	case p.bad && p.spec.BurstLoss > 0:
@@ -209,7 +240,7 @@ func (p *Plan) Decide(elapsed time.Duration) Decision {
 		d.CorruptBit = bit
 		p.counters.Inc(CounterCorrupt)
 	}
-	if p.spec.DupProb > 0 && dDraw < p.spec.DupProb {
+	if p.dups[p.packets] || (p.spec.DupProb > 0 && dDraw < p.spec.DupProb) {
 		d.Duplicate = true
 		p.counters.Inc(CounterDuplicate)
 	}
@@ -218,6 +249,15 @@ func (p *Plan) Decide(elapsed time.Duration) Decision {
 		p.counters.Inc(CounterReorder)
 	}
 	return d
+}
+
+func (p *Plan) windowed(idx uint64) bool {
+	for _, w := range p.spec.DropWindows {
+		if w.contains(idx) {
+			return true
+		}
+	}
+	return false
 }
 
 func (p *Plan) flapped(elapsed time.Duration) bool {

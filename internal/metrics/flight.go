@@ -84,6 +84,13 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("kind-%d", uint8(k))
 }
 
+// EventKindNames lists every defined kind name in declaration order —
+// the valid vocabulary for /events?kind= filtering, surfaced in error
+// responses so a typo comes back with the fix attached.
+func EventKindNames() []string {
+	return append([]string(nil), eventKindNames[1:]...)
+}
+
 // EventKindFromName resolves a kebab-case kind name back to its EventKind —
 // the inverse of String, used by /events?kind= filtering so the query
 // vocabulary is exactly the recorded one.

@@ -1,0 +1,79 @@
+package tracespan
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzRingUnwind drives the span reconstruction with arbitrary hop-ring
+// contents: any HopCount (including values far past the slot count, as a
+// much-retransmitted packet produces), any slot bits, any stamp skew. The
+// collector must never panic, lost-slot accounting must match the ring
+// arithmetic, and every derived view (Records, Spans, Structures, the
+// Perfetto export) must stay total.
+func FuzzRingUnwind(f *testing.F) {
+	f.Add(uint32(1), uint8(3), uint64(0x0100000000000400), int64(5000), false, int64(0), uint8(0))
+	f.Add(uint32(2), uint8(9), uint64(0x05FFFFFFFFFFFFFF), int64(100), true, int64(40), uint8(3))
+	f.Add(uint32(3), uint8(255), uint64(0x8000000000000000), int64(-7), false, int64(9), uint8(255))
+	f.Fuzz(func(t *testing.T, traceID uint32, hopCount uint8, slotSeed uint64, at int64, recovered bool, detectedAt int64, naks uint8) {
+		ext := wire.TraceExt{
+			TraceID:      traceID,
+			Flags:        wire.TraceSampledFlag,
+			HopCount:     hopCount,
+			OriginConfig: uint8(slotSeed),
+		}
+		// Derive each ring slot from the seed the way the wire layer packs
+		// them: hop ID in the top byte, 56-bit stamp below.
+		for i := range ext.Hops {
+			s := slotSeed * (uint64(i)*0x9E3779B97F4A7C15 + 1)
+			ext.Hops[i] = wire.TraceHop{Hop: uint8(s >> 56), Stamp: s & wire.TraceStampMask}
+		}
+		d := Delivery{
+			Trace: ext, Exp: wire.NewExperimentID(7, 0), Seq: uint64(traceID),
+			ConfigID: 1, At: at,
+			Recovered: recovered, DetectedAt: detectedAt, NAKs: int(naks),
+		}
+
+		c := NewCollector(4)
+		c.Observe(d)
+		recs := c.Records()
+		if len(recs) != 1 {
+			t.Fatalf("retained %d records, want 1", len(recs))
+		}
+		rec := recs[0]
+
+		wantLost := int(hopCount) - wire.TraceHopSlots
+		if wantLost < 0 {
+			wantLost = 0
+		}
+		if rec.LostStamps != wantLost {
+			t.Fatalf("LostStamps %d for HopCount %d, want %d", rec.LostStamps, hopCount, wantLost)
+		}
+		wantKept := int(hopCount) - wantLost
+		if len(rec.Hops) != wantKept {
+			t.Fatalf("kept %d hops for HopCount %d, want %d", len(rec.Hops), hopCount, wantKept)
+		}
+
+		spans := rec.Spans()
+		wantSpans := wantKept + 1 // one per hop plus the rx instant
+		if recovered {
+			wantSpans++
+		}
+		if len(spans) != wantSpans {
+			t.Fatalf("%d spans, want %d", len(spans), wantSpans)
+		}
+		for _, sp := range spans {
+			if sp.Name == "" {
+				t.Fatalf("span with empty name: %+v", sp)
+			}
+		}
+		if rec.Structure() == "" {
+			t.Fatal("empty structure line")
+		}
+		if err := c.WriteTraceJSON(io.Discard); err != nil {
+			t.Fatalf("WriteTraceJSON: %v", err)
+		}
+	})
+}
