@@ -66,6 +66,14 @@ type Scenario struct {
 	// receivers; the transcripts then carry the reconstructed span
 	// structures, which must match across substrates.
 	TraceSample int
+	// BatchSize, when > 1, runs the live sender through its batched
+	// flush ring — and, on supporting kernels, the sendmmsg/GSO batch
+	// datapath. The simulator has no syscall layer, so this only affects
+	// the live run; the replay must stay byte-identical regardless,
+	// which is exactly what a differential run with BatchSize set
+	// proves. The lockstep driver is unaffected: it already barriers on
+	// the relay's ingest counter after every send.
+	BatchSize int
 }
 
 // Delivery is one delivered message, as the transcript records it.

@@ -30,6 +30,29 @@ func acceptanceScenario() Scenario {
 	}
 }
 
+// TestDifferentialSimVsLiveBatched re-runs the acceptance scenario with
+// the live sender's batch ring (and, on supporting kernels, the
+// sendmmsg/GSO kernel datapath) engaged. The simulator side is
+// identical, so any divergence — delivery order, NAK ranges, write-offs,
+// totals, spans — would mean batching altered the bytes or ordering on
+// the wire. It must not: batching only changes how packets are packed
+// into syscalls.
+func TestDifferentialSimVsLiveBatched(t *testing.T) {
+	sc := acceptanceScenario()
+	sc.BatchSize = 8
+	simTr := RunSim(sc)
+	liveTr, err := RunLive(sc)
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	for _, d := range Diff(simTr, liveTr) {
+		t.Errorf("divergence: %s", d)
+	}
+	if simTr.Totals.Recovered != 1 || simTr.Totals.Lost != 1 {
+		t.Fatalf("scenario did not exercise both loss paths: %+v", simTr.Totals)
+	}
+}
+
 // TestDifferentialSimVsLive is the conformance suite's core assertion:
 // the same seeded scenario — traffic schedule, scripted egress losses,
 // and a mid-stream crash/restart — produces identical delivery order,

@@ -83,6 +83,7 @@ func RunLive(sc Scenario) (*Transcript, error) {
 		Dst:         relay.Addr(),
 		Experiment:  sc.Experiment,
 		TraceSample: sc.TraceSample,
+		BatchSize:   sc.BatchSize,
 	})
 	if err != nil {
 		return nil, err

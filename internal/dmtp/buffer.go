@@ -97,6 +97,12 @@ func (b *BufferEngine) Stats() BufferStats { return *b.stats }
 // BufferedBytes returns current buffer occupancy.
 func (b *BufferEngine) BufferedBytes() int { return b.bytes }
 
+// CapacityBytes returns the configured buffer bound (after defaulting):
+// a Stash that would push occupancy past it evicts oldest entries first,
+// releasing their buffers. Callers holding references into the stash use
+// this to predict eviction.
+func (b *BufferEngine) CapacityBytes() int { return b.cfg.CapacityBytes }
+
 // NextSeq assigns the next sequence number for the experiment.
 func (b *BufferEngine) NextSeq(exp wire.ExperimentID) uint64 {
 	b.seqs[exp]++

@@ -1,0 +1,8 @@
+//go:build linux && amd64
+
+package live
+
+// sysSendmmsg is the sendmmsg(2) syscall number. The stdlib syscall
+// table predates Linux 3.0 and never gained it, so it is pinned here
+// per architecture (the ABI number is stable for the life of the arch).
+const sysSendmmsg = 307

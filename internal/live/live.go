@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dmtp"
@@ -152,10 +153,41 @@ type Sender struct {
 	deadlineArmed time.Time
 
 	// Batch-mode state: a ring of encoded packets awaiting one flush.
+	// The flush timer is armed only when the ring goes non-empty (first
+	// enqueue) so an idle sender schedules no wakeups and the
+	// packets-per-syscall histogram sees no empty flushes.
 	batch  [][]byte
 	batchN int
+	bconn  *batchConn // batched writer over conn; rebuilt by dial
+	flushT *time.Timer
+	done   chan struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	bstats batchStats
+	txErr  atomic.Pointer[metrics.Counter]
+}
+
+// BatchStats returns the sender's kernel-batch datapath counters.
+func (s *Sender) BatchStats() BatchStats { return s.bstats.snapshot() }
+
+// BatchCaps reports which kernel batching features the sender's socket
+// probed to (zero value until the first batched dial, or always on the
+// unary path).
+func (s *Sender) BatchCaps() BatchCaps {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bconn == nil {
+		return BatchCaps{}
+	}
+	return s.bconn.Caps()
+}
+
+// countTxErr records n packets dropped by a fire-and-forget write.
+func (s *Sender) countTxErr(n int) {
+	if c := s.txErr.Load(); c != nil && n > 0 {
+		c.Add(uint64(n))
+	}
 }
 
 // NewSender dials the relay (or receiver) at dst.
@@ -179,6 +211,11 @@ func NewSenderWithConfig(cfg SenderConfig) (*Sender, error) {
 		for i := range s.batch {
 			s.batch[i] = make([]byte, 0, 2048)
 		}
+		s.done = make(chan struct{})
+		s.flushT = time.NewTimer(time.Hour)
+		if !s.flushT.Stop() {
+			<-s.flushT.C
+		}
 		s.wg.Add(1)
 		go s.flushLoop()
 	}
@@ -197,6 +234,12 @@ func (s *Sender) dial() error {
 		c = s.cfg.Wrap(c)
 	}
 	s.conn = c
+	if s.cfg.BatchSize > 1 {
+		// Batched flushes go through the kernel-batch datapath when the
+		// socket supports it (sendmmsg + GSO); senders never read, so no
+		// receive ring is built.
+		s.bconn = newBatchConn(c, &s.bstats, false)
+	}
 	s.deadlineArmed = time.Time{} // fresh socket: next write re-arms
 	return nil
 }
@@ -299,6 +342,7 @@ func (s *Sender) Send(msg []byte, slice uint8) error {
 		s.stats.SendErrors++
 		s.conn.Close()
 		s.conn = nil
+		s.bconn = nil
 		s.mu.Unlock()
 	}
 	return fmt.Errorf("live: send: %w", lastErr)
@@ -322,12 +366,21 @@ func (s *Sender) sendBatched(msg []byte, slice uint8) error {
 	if s.batchN >= len(s.batch) {
 		return s.flushLocked()
 	}
+	if s.batchN == 1 {
+		// First packet into an empty ring: arm the flush timer. A full
+		// ring flushes inline above, and the timer fires at most once per
+		// arming, so an idle sender never wakes (a stale fire finds an
+		// empty ring and is a no-op).
+		s.flushT.Reset(s.cfg.FlushInterval)
+	}
 	return nil
 }
 
-// flushLocked writes every queued packet with one deadline check. On a
-// write error the socket is dropped (redialled by the next flush) and the
-// remaining packets of this batch are counted as send errors.
+// flushLocked writes every queued packet as one batch — a single
+// deadline check and, on the kernel path, a single sendmmsg (or GSO
+// super-send) for the whole ring. On a write error the socket is
+// dropped (redialled by the next flush) and the unsent packets of this
+// batch are counted as send errors.
 func (s *Sender) flushLocked() error {
 	n := s.batchN
 	if n == 0 {
@@ -337,6 +390,7 @@ func (s *Sender) flushLocked() error {
 	if s.conn == nil {
 		if err := s.dial(); err != nil {
 			s.stats.SendErrors += uint64(n)
+			s.countTxErr(n)
 			return err
 		}
 		s.stats.Reconnects++
@@ -344,31 +398,36 @@ func (s *Sender) flushLocked() error {
 		s.cfg.Recorder.Record(metrics.EvReconnect, 0, 0, 0)
 	}
 	s.armDeadlineLocked()
-	for i := 0; i < n; i++ {
-		if _, err := s.conn.Write(s.batch[i]); err != nil {
-			s.stats.SendErrors += uint64(n - i)
-			s.conn.Close()
-			s.conn = nil
-			return fmt.Errorf("live: batched send: %w", err)
-		}
-		s.stats.Sent++
+	sent, err := s.bconn.WriteBatch(s.batch[:n])
+	s.stats.Sent += uint64(sent)
+	if err != nil {
+		s.stats.SendErrors += uint64(n - sent)
+		s.countTxErr(n - sent)
+		s.conn.Close()
+		s.conn = nil
+		s.bconn = nil
+		return fmt.Errorf("live: batched send: %w", err)
 	}
 	return nil
 }
 
-// flushLoop drains partially filled batches on the flush interval.
+// flushLoop drains partially filled batches when the flush timer —
+// armed by the first enqueue into an empty ring — fires.
 func (s *Sender) flushLoop() {
 	defer s.wg.Done()
-	tick := time.NewTicker(s.cfg.FlushInterval)
-	defer tick.Stop()
-	for range tick.C {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+	for {
+		select {
+		case <-s.done:
 			return
+		case <-s.flushT.C:
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.flushLocked()
+			s.mu.Unlock()
 		}
-		s.flushLocked()
-		s.mu.Unlock()
 	}
 }
 
@@ -394,6 +453,8 @@ func (s *Sender) RegisterMetrics(reg *metrics.Registry) {
 	reg.RegisterFunc(metrics.MetricTxSent, func() int64 { return int64(snap().Sent) })
 	reg.RegisterFunc(metrics.MetricTxSendErrors, func() int64 { return int64(snap().SendErrors) })
 	reg.RegisterFunc(metrics.MetricTxReconnects, func() int64 { return int64(snap().Reconnects) })
+	s.bstats.install(reg)
+	s.txErr.Store(reg.Counter(metrics.MetricLiveTxErrors))
 	dmtp.RegisterPoolMetrics(reg)
 }
 
@@ -421,7 +482,13 @@ func (s *Sender) Close() error {
 		err = s.conn.Close()
 		s.conn = nil
 	}
+	if s.flushT != nil {
+		s.flushT.Stop()
+	}
 	s.mu.Unlock()
+	if s.done != nil {
+		close(s.done)
+	}
 	s.wg.Wait()
 	return err
 }
@@ -470,6 +537,7 @@ type RelayStats struct {
 	Misses        uint64
 	Trimmed       uint64 // stash entries released after cumulative ACK
 	Crashes       uint64
+	TxErrors      uint64 // packets dropped by failed fire-and-forget writes
 }
 
 // Relay is the live-path network element + buffer. The retransmission
@@ -495,6 +563,40 @@ type Relay struct {
 	reshapeC *metrics.Counter
 	closed   bool
 	wg       sync.WaitGroup
+
+	// bc is the batch datapath over the current socket (rebuilt by
+	// bind on Restart). fwdq queues this burst's forward-leg packets so
+	// one WriteBatchTo — a single sendmmsg or GSO super-send — carries
+	// them all; it is always drained before r.mu is released.
+	bc     *batchConn
+	fwdq   [][]byte
+	bstats batchStats
+	txErr  atomic.Pointer[metrics.Counter]
+}
+
+// BatchStats returns the relay's kernel-batch datapath counters.
+func (r *Relay) BatchStats() BatchStats { return r.bstats.snapshot() }
+
+// BatchCaps reports which kernel batching features the relay's current
+// socket probed to.
+func (r *Relay) BatchCaps() BatchCaps {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bc == nil {
+		return BatchCaps{}
+	}
+	return r.bc.Caps()
+}
+
+// countTxErrLocked records n packets dropped by fire-and-forget writes.
+func (r *Relay) countTxErrLocked(n int) {
+	if n <= 0 {
+		return
+	}
+	r.stats.TxErrors += uint64(n)
+	if c := r.txErr.Load(); c != nil {
+		c.Add(uint64(n))
+	}
 }
 
 // NewRelay binds the relay and starts its receive loop.
@@ -555,8 +657,14 @@ func (r *Relay) bind(laddr *net.UDPAddr) error {
 	r.conn = c
 	r.bound = conn.LocalAddr().(*net.UDPAddr)
 	r.self = self
+	// The batch datapath reads bursts with recvmmsg (GRO enabled) and
+	// flushes the forward queue with sendmmsg/GSO where the kernel
+	// allows; wrapped sockets fall back to the portable loop so fault
+	// middleware still sees every packet.
+	bc := newBatchConn(c, &r.bstats, true)
+	r.bc = bc
 	r.wg.Add(1)
-	go r.loop(c)
+	go r.loop(c, bc)
 	return nil
 }
 
@@ -616,6 +724,8 @@ func (r *Relay) RegisterMetrics(reg *metrics.Registry) {
 	r.mu.Lock()
 	r.reshapeC = c
 	r.mu.Unlock()
+	r.bstats.install(reg)
+	r.txErr.Store(reg.Counter(metrics.MetricLiveTxErrors))
 	dmtp.RegisterPoolMetrics(reg)
 }
 
@@ -625,11 +735,15 @@ func (r *Relay) RegisterMetrics(reg *metrics.Registry) {
 type relayDatapath struct{ r *Relay }
 
 func (d relayDatapath) SendControl(dst wire.Addr, pkt []byte) {
-	d.r.conn.WriteToUDP(pkt, toUDPAddr(dst))
+	if _, err := d.r.conn.WriteToUDP(pkt, toUDPAddr(dst)); err != nil {
+		d.r.countTxErrLocked(1)
+	}
 }
 
 func (d relayDatapath) SendData(dst wire.Addr, pkt []byte) {
-	d.r.conn.WriteToUDP(pkt, toUDPAddr(dst))
+	if _, err := d.r.conn.WriteToUDP(pkt, toUDPAddr(dst)); err != nil {
+		d.r.countTxErrLocked(1)
+	}
 }
 
 // Crash models the relay process dying: the socket closes abruptly and
@@ -695,11 +809,11 @@ func (r *Relay) Close() error {
 	return err
 }
 
-func (r *Relay) loop(conn UDPConn) {
+func (r *Relay) loop(conn UDPConn, bc *batchConn) {
 	defer r.wg.Done()
-	buf := make([]byte, 64<<10)
+	defer bc.Close()
 	for {
-		n, _, err := conn.ReadFromUDP(buf)
+		n, err := bc.ReadBatch()
 		if err != nil {
 			r.mu.Lock()
 			stop := r.closed || r.eng.Down()
@@ -709,28 +823,49 @@ func (r *Relay) loop(conn UDPConn) {
 			}
 			continue
 		}
-		// handle is synchronous and copies anything it retains (the stash
-		// reshapes into its own pooled buffer), so the read buffer is
-		// handed over directly and reused for the next datagram.
-		r.handle(conn, buf[:n])
+		// One lock acquisition per burst. handleLocked is synchronous and
+		// copies anything it retains (the stash reshapes into its own
+		// pooled buffer); forwards are queued and flushed before the lock
+		// is released, so the ring buffers never outlive the burst.
+		r.mu.Lock()
+		bc.Packets(n, func(pkt []byte) { r.handleLocked(bc, pkt) })
+		r.flushForwardsLocked(bc)
+		r.mu.Unlock()
 	}
 }
 
-func (r *Relay) handle(conn UDPConn, pkt []byte) {
+// flushForwardsLocked drains the queued forward-leg packets with one
+// batched write. Failed tails are dropped (loss recovery is the
+// protocol's job) and counted in dmtp.live.tx.errors.
+func (r *Relay) flushForwardsLocked(bc *batchConn) {
+	n := len(r.fwdq)
+	if n == 0 {
+		return
+	}
+	sent, err := bc.WriteBatchTo(r.fwdq, r.fwdAddr)
+	r.stats.Forwarded += uint64(sent)
+	if err != nil {
+		r.countTxErrLocked(n - sent)
+	}
+	r.fwdq = r.fwdq[:0]
+}
+
+// handleLocked processes one ingested packet under r.mu, queueing any
+// forward on r.fwdq (flushed before the lock is released).
+func (r *Relay) handleLocked(bc *batchConn, pkt []byte) {
 	v := wire.View(pkt)
 	if _, err := v.Check(); err != nil {
 		return
 	}
 	if v.IsControl() {
-		r.handleControl(conn, pkt, v)
+		r.handleControlLocked(bc, pkt, v)
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if v.ConfigID() != 0 {
-		// Already upgraded: forward unmodified.
-		conn.WriteToUDP(pkt, r.fwdAddr)
-		r.stats.Forwarded++
+		// Already upgraded: forward unmodified. The queued slice points
+		// into the batch ring, which is stable until the next ReadBatch —
+		// after this burst's flush.
+		r.fwdq = append(r.fwdq, pkt)
 		return
 	}
 	// Reshape directly into a pooled buffer sized for the upgraded packet;
@@ -774,20 +909,28 @@ func (r *Relay) handle(conn UDPConn, pkt []byte) {
 	}
 	r.cfg.Recorder.RecordAt(now, metrics.EvReshape, uint64(exp), seq, uint64(up.ConfigID()))
 	// The stash takes ownership of the pooled buffer; it is released on
-	// eviction, cumulative-ACK trim, or crash.
+	// eviction, cumulative-ACK trim, or crash. Queued forwards reference
+	// stash-owned buffers, so if this stash would evict (and release)
+	// entries, the queue must drain first — an evicted buffer could be
+	// one queued earlier in this burst.
+	if len(r.fwdq) > 0 && r.eng.BufferedBytes()+len(up) > r.eng.CapacityBytes() {
+		r.flushForwardsLocked(bc)
+	}
 	r.eng.Stash(exp, seq, up)
 	if r.cfg.DropEveryN > 0 && seq%uint64(r.cfg.DropEveryN) == 0 {
 		r.stats.InjectedDrops++
 		r.cfg.Recorder.RecordAt(now, metrics.EvInjectedDrop, uint64(exp), seq, 0)
 		return
 	}
-	conn.WriteToUDP(up, r.fwdAddr)
-	r.stats.Forwarded++
+	r.fwdq = append(r.fwdq, up)
 }
 
-func (r *Relay) handleControl(conn UDPConn, pkt []byte, v wire.View) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// handleControlLocked serves NAKs and ACKs under r.mu. Queued forwards
+// are flushed first: retransmissions must not overtake data queued
+// earlier in the burst, and an ACK trim releases stash buffers the
+// queue may still reference.
+func (r *Relay) handleControlLocked(bc *batchConn, pkt []byte, v wire.View) {
+	r.flushForwardsLocked(bc)
 	switch v.ConfigID() {
 	case wire.ConfigNAK:
 		// Decode into the relay's scratch NAK, reusing its Ranges capacity.

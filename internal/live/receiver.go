@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dmtp"
@@ -75,6 +76,7 @@ type ReceiverStats struct {
 	PermanentLoss uint64 // gaps written off after MaxNAKs
 	Aged          uint64
 	Late          uint64
+	TxErrors      uint64 // control packets dropped by failed socket writes
 }
 
 // Receiver is the live-path destination endpoint. The protocol state
@@ -107,6 +109,23 @@ type Receiver struct {
 	// Counters records recoveries and permanent losses alongside any
 	// injected faults sharing the set.
 	Counters *telemetry.CounterSet
+
+	// txErrs counts control packets dropped by failed fire-and-forget
+	// writes in dispatch, which runs outside r.mu — hence atomics.
+	txErrs atomic.Uint64
+	txErr  atomic.Pointer[metrics.Counter]
+	bstats batchStats
+}
+
+// BatchStats returns the receiver's kernel-batch datapath counters.
+func (r *Receiver) BatchStats() BatchStats { return r.bstats.snapshot() }
+
+// countTxErr records one control packet dropped by a failed write.
+func (r *Receiver) countTxErr() {
+	r.txErrs.Add(1)
+	if c := r.txErr.Load(); c != nil {
+		c.Inc()
+	}
 }
 
 type gapEvent struct {
@@ -251,6 +270,7 @@ func (r *Receiver) Stats() ReceiverStats {
 		PermanentLoss: s.Lost,
 		Aged:          s.Aged,
 		Late:          s.Late,
+		TxErrors:      r.txErrs.Load(),
 	}
 }
 
@@ -277,6 +297,8 @@ func (r *Receiver) RegisterMetrics(reg *metrics.Registry) {
 		defer r.mu.Unlock()
 		return r.LatencyHist.Quantile(0.5), r.LatencyHist.Quantile(0.99)
 	})
+	r.bstats.install(reg)
+	r.txErr.Store(reg.Counter(metrics.MetricLiveTxErrors))
 	dmtp.RegisterPoolMetrics(reg)
 }
 
@@ -297,9 +319,14 @@ func (r *Receiver) Close() error {
 
 func (r *Receiver) readLoop() {
 	defer r.wg.Done()
-	buf := make([]byte, 64<<10)
+	// Bursts arrive through the batch datapath — one recvmmsg fills the
+	// ring (GRO-coalesced runs are split back into wire packets) and the
+	// whole burst is ingested under one lock acquisition. Wrapped or
+	// non-Linux sockets serve the same loop one datagram at a time.
+	bc := newBatchConn(r.conn, &r.bstats, true)
+	defer bc.Close()
 	for {
-		n, _, err := r.conn.ReadFromUDP(buf)
+		n, err := bc.ReadBatch()
 		if err != nil {
 			r.mu.Lock()
 			closed := r.closed
@@ -310,26 +337,24 @@ func (r *Receiver) readLoop() {
 			continue
 		}
 		// Ingest is synchronous and copies the payload before it escapes
-		// (Message.Payload is owned by the delivery callback), so the read
-		// buffer is handed over directly and reused for the next datagram.
-		r.handle(buf[:n])
-	}
-}
-
-func (r *Receiver) handle(pkt []byte) {
-	v := wire.View(pkt)
-	if _, err := v.Check(); err != nil || v.IsControl() {
-		return
-	}
-	r.mu.Lock()
-	if r.closed {
+		// (Message.Payload is owned by the delivery callback), so the ring
+		// buffers are handed over directly and reused for the next burst.
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		bc.Packets(n, func(pkt []byte) {
+			v := wire.View(pkt)
+			if _, err := v.Check(); err != nil || v.IsControl() {
+				return
+			}
+			r.eng.Ingest(v)
+		})
+		f := r.takeFlushLocked()
 		r.mu.Unlock()
-		return
+		r.dispatch(f)
 	}
-	r.eng.Ingest(v)
-	f := r.takeFlushLocked()
-	r.mu.Unlock()
-	r.dispatch(f)
 }
 
 type rxFlush struct {
@@ -349,7 +374,9 @@ func (r *Receiver) takeFlushLocked() rxFlush {
 // (recovery latency beats delivery callbacks), then application callbacks.
 func (r *Receiver) dispatch(f rxFlush) {
 	for _, s := range f.sends {
-		r.conn.WriteToUDP(s.pkt, toUDPAddr(s.dst))
+		if _, err := r.conn.WriteToUDP(s.pkt, toUDPAddr(s.dst)); err != nil {
+			r.countTxErr()
+		}
 	}
 	if r.cfg.OnMessage != nil {
 		for _, m := range f.msgs {

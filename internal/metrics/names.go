@@ -65,6 +65,17 @@ const (
 	// "dmtp.trace.segment_owd_ns.seg1" for the first transit segment.
 	MetricTraceSegmentOWDPrefix = "dmtp.trace.segment_owd_ns.seg"
 
+	// Live kernel-batch datapath metrics (internal/live batchConn;
+	// live substrate only — there is no syscall layer in the simulator).
+	MetricLiveBatchPktsPerSyscall = "dmtp.live.batch.pkts_per_syscall"
+	MetricLiveBatchGSOSegments    = "dmtp.live.batch.gso_segments"
+	MetricLiveBatchGROSplits      = "dmtp.live.batch.gro_splits"
+	MetricLiveBatchFallbacks      = "dmtp.live.batch.fallbacks"
+	// MetricLiveTxErrors counts packets silently dropped by fire-and-forget
+	// socket writes (relay forwards, control sends, batched flush tails) —
+	// failures that have no retry path, unlike dmtp.tx.send_errors.
+	MetricLiveTxErrors = "dmtp.live.tx.errors"
+
 	// Shared packet-buffer pool metrics (wire.BufferPool).
 	MetricPoolGets     = "wire.pool.gets"
 	MetricPoolHits     = "wire.pool.hits"
@@ -144,6 +155,11 @@ var Catalog = []Info{
 	{MetricTraceDropped, KindGauge, "records", "trace records discarded by the collector's bounded ring"},
 	{MetricTraceRecoveryNs, KindHist, "ns", "gap-detection → delivery latency of NAK-recovered sampled messages"},
 	{MetricTraceSegmentOWDPrefix + "*", KindHist, "ns", "per-segment one-way delay of sampled messages, one histogram per hop-span position"},
+	{MetricLiveBatchPktsPerSyscall, KindHist, "packets", "wire packets moved per batched syscall (sendmmsg/recvmmsg/GSO super-send)"},
+	{MetricLiveBatchGSOSegments, KindCounter, "packets", "wire packets coalesced into UDP GSO super-datagrams on send"},
+	{MetricLiveBatchGROSplits, KindCounter, "packets", "wire packets recovered by splitting GRO-coalesced datagrams on receive"},
+	{MetricLiveBatchFallbacks, KindCounter, "operations", "batch operations served by the portable single-syscall path"},
+	{MetricLiveTxErrors, KindCounter, "packets", "packets dropped by failed fire-and-forget socket writes (no retry path)"},
 	{MetricPoolGets, KindGauge, "buffers", "buffers requested from the shared packet pool"},
 	{MetricPoolHits, KindGauge, "buffers", "pool requests satisfied by a recycled buffer"},
 	{MetricPoolMisses, KindGauge, "buffers", "pool requests that had to allocate"},
