@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/dmtp"
 	"repro/internal/experiments"
+	"repro/internal/live"
 	"repro/internal/metrics"
 )
 
@@ -66,10 +67,13 @@ type benchDoc struct {
 	// TraceSegmentOWD carries the traced pipeline's per-segment one-way
 	// delay profile (experiment t1), reconstructed from in-band hop stamps.
 	TraceSegmentOWD []traceSeg `json:"trace_segment_owd,omitempty"`
+	// FanIn carries the many-flow relay scale-out measurement (experiment
+	// f1): offered/serviced/delivered rates plus per-flow fairness.
+	FanIn *live.FanInResult `json:"fan_in,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1,e2,e3,e4,e5,a1,a2,a4,a5,a6,t1,c1 or all")
+	exp := flag.String("exp", "all", "experiment id: e1,e2,e3,e4,e5,a1,a2,a4,a5,a6,t1,c1,f1 or all")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	messages := flag.Int("messages", 1000, "messages per run")
 	jsonOut := flag.Bool("json", false, "suppress tables; emit a benchtab/v1 JSON benchmark document")
@@ -176,8 +180,19 @@ func main() {
 		}
 	})
 
+	var fanIn *live.FanInResult
+	section("f1", "Fan-in: many-flow relay scale-out on loopback", func(w io.Writer) {
+		res, err := live.RunFanIn(live.FanInConfig{Messages: 10 * (*messages)})
+		if err != nil {
+			fmt.Fprintf(w, "fan-in failed: %v\n", err)
+			return
+		}
+		fanIn = res
+		fmt.Fprint(w, res.Table())
+	})
+
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1,e2,e3,e4,e5,a1,a2,a4,a5,a6,t1,c1 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1,e2,e3,e4,e5,a1,a2,a4,a5,a6,t1,c1,f1 or all)\n", *exp)
 		os.Exit(2)
 	}
 	if *jsonOut {
@@ -186,6 +201,7 @@ func main() {
 		if err := enc.Encode(benchDoc{
 			Schema: "benchtab/v1", Messages: *messages, Seed: *seed, Experiments: timings,
 			TraceSegmentOWD: traceOWD,
+			FanIn:           fanIn,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/debugsrv"
@@ -25,9 +27,11 @@ func main() {
 	maxAge := flag.Duration("max-age", 500*time.Millisecond, "age budget")
 	deadline := flag.Duration("deadline", time.Second, "delivery budget")
 	dropEvery := flag.Int("drop-every", 0, "drop every Nth data packet (fault injection)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address (off when empty)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events, /flows and pprof on this address (off when empty)")
 	traceSample := flag.Int("trace-sample", 0, "originate an in-band trace on every Nth untraced upgrade (0 = off)")
 	traceOut := flag.String("trace-out", "", "write the flight-recorder timeline as Perfetto trace JSON on exit")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "buffer shards experiments are partitioned across")
+	maxFlows := flag.Int("max-flows", 0, "flow-table bound; registrations beyond it are rejected (0 = unlimited)")
 	flag.Parse()
 
 	var rec *metrics.FlightRecorder
@@ -42,20 +46,26 @@ func main() {
 		DropEveryN:     *dropEvery,
 		Recorder:       rec,
 		TraceSample:    *traceSample,
+		Shards:         *shards,
+		MaxFlows:       *maxFlows,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
 		os.Exit(1)
 	}
 	defer relay.Close()
-	fmt.Printf("dmtp-relay: %s → %s (buffer at %v)\n", relay.Addr(), *forward, relay.WireAddr())
+	fmt.Printf("dmtp-relay: %s → %s (buffer at %v, %d shards)\n",
+		relay.Addr(), *forward, relay.WireAddr(), *shards)
 
 	if *debugAddr != "" {
 		reg := metrics.NewRegistry()
 		relay.RegisterMetrics(reg)
 		metrics.RegisterProcessMetrics(reg)
 		metrics.RegisterFlightMetrics(reg, rec)
-		dbg, err := debugsrv.New(debugsrv.Config{Addr: *debugAddr, Registry: reg, Recorder: rec})
+		dbg, err := debugsrv.New(debugsrv.Config{
+			Addr: *debugAddr, Registry: reg, Recorder: rec,
+			Flows: func() []debugsrv.FlowInfo { return debugFlows(relay) },
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
 			os.Exit(1)
@@ -66,14 +76,19 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
 	tick := time.NewTicker(5 * time.Second)
 	defer tick.Stop()
 	for {
 		select {
 		case <-tick.C:
 			st := relay.Stats()
-			fmt.Printf("upgraded %d  forwarded %d  naks %d  retransmits %d  misses %d  injected-drops %d\n",
-				st.Upgraded, st.Forwarded, st.NAKs, st.Retransmits, st.Misses, st.InjectedDrops)
+			fs := relay.FlowStats()
+			fmt.Printf("upgraded %d  forwarded %d  naks %d  retransmits %d  misses %d  injected-drops %d  flows %d\n",
+				st.Upgraded, st.Forwarded, st.NAKs, st.Retransmits, st.Misses, st.InjectedDrops, fs.Active)
+		case <-usr1:
+			printFlowTable(relay)
 		case <-sig:
 			st := relay.Stats()
 			fmt.Printf("\nfinal: %+v\n", st)
@@ -83,6 +98,38 @@ func main() {
 			return
 		}
 	}
+}
+
+// printFlowTable dumps the relay's flow table to stdout (SIGUSR1).
+func printFlowTable(relay *live.Relay) {
+	flows := relay.Flows()
+	fs := relay.FlowStats()
+	fmt.Printf("flow table: %d active (%d opened, %d expired, %d rejected)\n",
+		fs.Active, fs.Opened, fs.Expired, fs.Rejected)
+	for _, f := range flows {
+		fmt.Printf("  src=%s exp=%d dst=%s shard=%d upgraded=%d forwarded=%d idle=%s\n",
+			f.Src, f.Experiment, f.Dst, f.Shard, f.Upgraded, f.Forwarded,
+			time.Duration(f.IdleNs))
+	}
+}
+
+// debugFlows converts the relay's flow snapshot into debugsrv's transport-
+// agnostic form for the /flows endpoint.
+func debugFlows(relay *live.Relay) []debugsrv.FlowInfo {
+	flows := relay.Flows()
+	out := make([]debugsrv.FlowInfo, 0, len(flows))
+	for _, f := range flows {
+		out = append(out, debugsrv.FlowInfo{
+			Src:        f.Src.String(),
+			Experiment: uint32(f.Experiment),
+			Dst:        f.Dst,
+			Shard:      f.Shard,
+			Upgraded:   f.Upgraded,
+			Forwarded:  f.Forwarded,
+			IdleNs:     f.IdleNs,
+		})
+	}
+	return out
 }
 
 // writeFlightTrace dumps the recorder's timeline as trace-event JSON.

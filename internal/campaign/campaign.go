@@ -28,9 +28,11 @@ import (
 // cell IDs join them with hyphens.
 var (
 	// Topologies: single relay (sensor→DTN→receiver), chained relays
-	// (sensor→DTN1→DTN2→receiver with transit stashing at DTN2), and the
-	// pilot's P4-switch path (sensor→DTN→Tofino2→receiver).
-	Topologies = []string{"single", "chain", "p4sim"}
+	// (sensor→DTN1→DTN2→receiver with transit stashing at DTN2), the
+	// pilot's P4-switch path (sensor→DTN→Tofino2→receiver), and the
+	// many-flow fan-in (the workload's senders plus three extra steady
+	// flows, all through one sharded relay).
+	Topologies = []string{"single", "chain", "p4sim", "fanin"}
 	// Faults: the fault-plan library of cell.go, from no-fault control to
 	// the combined chaos plan.
 	Faults = []string{"clean", "gilbert", "reorder", "dup", "corrupt", "flap", "crash", "chaos"}

@@ -120,6 +120,46 @@ func TestLiveReplaySample(t *testing.T) {
 	}
 }
 
+// TestFanInCellIsolation runs a fanin cell directly and checks the
+// many-flow properties the matrix aggregates away: at least four
+// experiments were sequenced through the sharded relay, the per-flow
+// oracle saw no cross-flow sequence bleed (the cell is "ok"), and the
+// cell reproduces bit-identically from its ID — the repro workflow for
+// fan-in scale-out bugs.
+func TestFanInCellIsolation(t *testing.T) {
+	spec := Spec{Seed: 6, Seeds: 1}
+	cell := Cell{Seed: 6, Topology: "fanin", Fault: "gilbert", Workload: "steady"}
+	res := runCell(cell, spec)
+	if res.Outcome != "ok" {
+		t.Fatalf("fanin cell violated oracles: %v", res.Violations)
+	}
+	// steady + three fan-in flows, each n messages.
+	if want := uint64(4 * 40); res.Sent != want {
+		t.Fatalf("sent %d, want %d (4 flows x 40)", res.Sent, want)
+	}
+	if res.Upgraded != res.Sent {
+		t.Fatalf("upgraded %d of %d sent", res.Upgraded, res.Sent)
+	}
+	again := runCell(cell, spec)
+	if again.Outcome != res.Outcome || again.Delivered != res.Delivered ||
+		again.Recovered != res.Recovered || again.Lost != res.Lost ||
+		again.ElapsedVirtualNs != res.ElapsedVirtualNs {
+		t.Fatalf("fanin repro diverged:\nfirst %+v\nagain %+v", res, again)
+	}
+}
+
+// TestLiveReplayFanIn replays a fanin cell's derived multi-flow scenario
+// on the live substrate and requires a clean per-flow transcript diff.
+func TestLiveReplayFanIn(t *testing.T) {
+	lr := runLiveReplay(Cell{Seed: 2, Topology: "fanin", Fault: "gilbert", Workload: "steady"})
+	if lr.Err != "" {
+		t.Fatalf("live replay error: %s", lr.Err)
+	}
+	if !lr.Ok {
+		t.Fatalf("live replay diverged: %v", lr.Diffs)
+	}
+}
+
 // TestReproMatchesCampaign pins the repro workflow: re-running a single
 // cell standalone yields exactly the result the full sweep recorded.
 func TestReproMatchesCampaign(t *testing.T) {

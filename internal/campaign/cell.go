@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -88,8 +89,30 @@ type senderSpec struct {
 	size  int
 }
 
-// workloadSpecs derives the cell's sender series. n is the steady count.
-func workloadSpecs(workload string, n int) []senderSpec {
+// workloadSpecs derives the cell's sender series: the workload's base
+// series, plus — on the fanin topology — three extra steady flows from
+// distinct sources, so every fanin cell pushes at least four concurrent
+// experiments through the sharded relay.
+func workloadSpecs(topology, workload string, n int) []senderSpec {
+	specs := baseWorkloadSpecs(workload, n)
+	if topology == "fanin" {
+		for i := 0; i < 3; i++ {
+			specs = append(specs, senderSpec{
+				name: fmt.Sprintf("fan%d", i),
+				addr: wire.AddrFrom(10, 0, 0, byte(10+i), 4000),
+				exp:  uint32(404 + 101*i), mode: core.ModeBare,
+				count: n,
+				start: cellInterval + time.Duration(i+1)*(cellInterval/4),
+				every: cellInterval,
+				size:  512,
+			})
+		}
+	}
+	return specs
+}
+
+// baseWorkloadSpecs derives the workload's own sender series.
+func baseWorkloadSpecs(workload string, n int) []senderSpec {
 	steady := senderSpec{
 		name: "sensorA", addr: wire.AddrFrom(10, 0, 0, 1, 4000),
 		exp: 101, mode: core.ModeBare,
@@ -255,7 +278,7 @@ func runCell(cell Cell, spec Spec) CellResult {
 		fwd := p4sim.NewForwarder().
 			Route(cellRecvAddr, 1).
 			Route(cellDTNAddr, 0)
-		for _, ss := range workloadSpecs(cell.Workload, n) {
+		for _, ss := range workloadSpecs(cell.Topology, cell.Workload, n) {
 			fwd.Route(ss.addr, 0)
 		}
 		sw := p4sim.NewSwitch(fwd, 400*time.Nanosecond,
@@ -269,13 +292,26 @@ func runCell(cell Cell, spec Spec) CellResult {
 		env.bufRecs = []*metrics.FlightRecorder{rec}
 		env.upgrader, crashTarget = dtn, dtn
 		senderDst, senderHub = cellDTNAddr, dtn.Node()
+	case "fanin":
+		// Many flows, one sharded relay: the workload's senders plus the
+		// three extra fan-in flows all land on a four-shard BufferNode,
+		// whose flow table routes every flow to the one receiver.
+		rec := metrics.NewFlightRecorder(1 << 15)
+		cfg := bufCfg(rec)
+		cfg.Shards = 4
+		dtn := core.NewBufferNode(nw, "dtn", cellDTNAddr, cfg)
+		nw.ConnectAsym(dtn.Node(), recv.Node(), faultedLink, cellLink())
+		env.buffers = []*core.BufferNode{dtn}
+		env.bufRecs = []*metrics.FlightRecorder{rec}
+		env.upgrader, crashTarget = dtn, dtn
+		senderDst, senderHub = cellDTNAddr, dtn.Node()
 	}
 
 	// Workload: one sender node per source address (one port each, so
 	// control traffic routes back over its only link); series sharing an
 	// address — the burst rides the steady sender — reuse its node.
 	byAddr := make(map[wire.Addr]*core.Sender)
-	for _, ss := range workloadSpecs(cell.Workload, n) {
+	for _, ss := range workloadSpecs(cell.Topology, cell.Workload, n) {
 		ss := ss
 		snd := byAddr[ss.addr]
 		if snd == nil {

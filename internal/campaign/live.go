@@ -33,11 +33,43 @@ func liveScenario(cell Cell) conformance.Scenario {
 	}
 }
 
+// liveMultiFlowScenario derives the fanin topology's replay: two flows
+// interleaved through one two-shard relay, with a seed-dependent scripted
+// loss landing on exactly one of them (odd merged egress indices belong
+// to the first flow, even to the second).
+func liveMultiFlowScenario(cell Cell) conformance.MultiFlowScenario {
+	drop := 5 + 2*uint64(cell.Seed%3) // 5/7/9: always the first flow's packet
+	return conformance.MultiFlowScenario{
+		Flows:       []conformance.FlowSpec{{Experiment: 777, Messages: 10}, {Experiment: 888, Messages: 10}},
+		Interval:    time.Millisecond,
+		DropEgress:  []uint64{drop},
+		Shards:      2,
+		NAKDelay:    1500 * time.Microsecond,
+		NAKRetry:    4 * time.Millisecond,
+		NAKRetryMax: 12 * time.Millisecond,
+		MaxNAKs:     3,
+		Seed:        cell.Seed,
+		FaultSeed:   cell.Seed,
+	}
+}
+
 // runLiveReplay executes the cell's derived scenario on both substrates
 // and records the transcript diff. The outcome is deterministic — both
 // transcripts are pure functions of the scenario — so sampled cells keep
-// the matrix byte-identical across runs.
+// the matrix byte-identical across runs. Fanin cells replay the
+// multi-flow differential form; every other topology replays the
+// single-flow scenario.
 func runLiveReplay(cell Cell) LiveResult {
+	if cell.Topology == "fanin" {
+		sc := liveMultiFlowScenario(cell)
+		simRes := conformance.RunSimMultiFlow(sc)
+		liveRes, err := conformance.RunLiveMultiFlow(sc)
+		if err != nil {
+			return LiveResult{Err: err.Error()}
+		}
+		diffs := conformance.DiffMultiFlow(simRes, liveRes)
+		return LiveResult{Ok: len(diffs) == 0, Diffs: diffs}
+	}
 	sc := liveScenario(cell)
 	simTr := conformance.RunSim(sc)
 	liveTr, err := conformance.RunLive(sc)

@@ -250,6 +250,30 @@ func checkOracles(env *cellEnv, led *ledger, res *CellResult) []string {
 		}
 	}
 
+	// Oracle: per-flow sequence isolation. Every sequenced stream the
+	// receiver observed must map to sequencing state the upgrader actually
+	// holds for that experiment — a delivery on a stream with SeqOf == 0
+	// means sequence numbers bled across flows (or materialised from
+	// nowhere), and an observed sequence above the flow's assignment
+	// counter means one flow consumed another's numbering. The corrupt
+	// plan can fabricate both and is exempt.
+	if env.fault != "corrupt" {
+		for _, exp := range led.expOrder() {
+			stl := led.streams[exp]
+			assigned := env.upgrader.SeqOf(exp)
+			if assigned == 0 {
+				out = append(out, fmt.Sprintf(
+					"oracle/flow: exp %d observed at the receiver but never sequenced by the upgrader", uint64(exp)))
+				continue
+			}
+			if stl.maxObserved > assigned {
+				out = append(out, fmt.Sprintf(
+					"oracle/flow: exp %d observed seq %d beyond the upgrader's assignment counter %d",
+					uint64(exp), stl.maxObserved, assigned))
+			}
+		}
+	}
+
 	// Oracle: tail-loss accounting. Sequences the upgrader assigned but
 	// the receiver never observed are legitimate only under fault plans
 	// that can drop the stream's tail (nothing later arrives to reveal

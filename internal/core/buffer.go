@@ -7,6 +7,7 @@ import (
 	"repro/internal/dmtp"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -50,6 +51,23 @@ type BufferConfig struct {
 	// (lower RTT) retransmission buffer" (§1, §5.1): downstream receivers
 	// then recover from this closer node instead of the WAN entrance.
 	StashTransit bool
+	// Shards is the number of buffer shards experiments are partitioned
+	// across (zero means 1). The simulator loop is single-threaded, so
+	// sharding here buys no parallelism — it exists so conformance can
+	// diff the sharded partitioning logic against the live relay.
+	Shards int
+	// MaxFlows bounds the flow table; registrations beyond it are
+	// rejected. Zero means unlimited.
+	MaxFlows int
+	// FlowTTL is how long an idle flow stays registered in virtual time
+	// (default 60s).
+	FlowTTL time.Duration
+	// Resolver, when non-nil, maps a new flow (frame source address +
+	// experiment ID) to its downstream address and egress port. A zero
+	// address rejects the flow. Nil routes every flow to
+	// Forward/ForwardPort — resolved at registration, mirroring the
+	// live relay's per-flow resolution.
+	Resolver func(src wire.Addr, exp wire.ExperimentID) (wire.Addr, int)
 	// Recorder, when non-nil, receives flight-recorder events (reshape
 	// plus the buffer engine's nak-served / nak-miss / evict / trim /
 	// crash / restart) stamped with virtual time. Nil disables recording.
@@ -76,12 +94,34 @@ type BufferNode struct {
 	cfg  BufferConfig
 	node *netsim.Node
 	nw   *netsim.Network
-	eng  *dmtp.BufferEngine
+	eng  *dmtp.ShardedBuffer
 	// reshapeC counts reshapes into the node's upgrade config; installed
 	// by RegisterMetrics, nil (and skipped) until then.
 	reshapeC *metrics.Counter
 
+	// flows maps (frame source, experiment) to a registered downstream
+	// route, mirroring the live relay's flow table: registration happens
+	// on a flow's first packet and Crash clears the table, so a restart
+	// re-resolves every flow.
+	flows     map[simFlowKey]*simFlow
+	flowStats dmtp.FlowStats
+	lastSweep sim.Time
+
 	Stats BufferStats
+}
+
+// simFlowKey identifies one flow through the node: the sender's address
+// plus the experiment ID carried in the packet header.
+type simFlowKey struct {
+	src wire.Addr
+	exp wire.ExperimentID
+}
+
+// simFlow is one registered flow's downstream route and idle clock.
+type simFlow struct {
+	dst      wire.Addr
+	port     int
+	lastSeen sim.Time
 }
 
 // NewBufferNode creates a buffer node and registers it on the network.
@@ -95,18 +135,33 @@ func NewBufferNode(nw *netsim.Network, name string, addr wire.Addr, cfg BufferCo
 // callers that wrap it in a decorating handler (e.g. discovery.Wrap); the
 // node is bound via Attach when the wrapper is registered.
 func NewBufferHandler(nw *netsim.Network, cfg BufferConfig) *BufferNode {
-	b := &BufferNode{cfg: cfg, nw: nw}
+	b := &BufferNode{cfg: cfg, nw: nw, flows: make(map[simFlowKey]*simFlow)}
+	nsh := cfg.Shards
+	if nsh < 1 {
+		nsh = 1
+	}
+	perShard := cfg.CapacityBytes
+	if nsh > 1 && perShard > 0 {
+		perShard /= nsh
+		if perShard < 1 {
+			perShard = 1
+		}
+	}
 	// Retransmissions leave via the WAN egress; the datapath clones
 	// stash entries before framing them (the engine keeps ownership).
-	b.eng = dmtp.NewBufferEngine(
-		nodeDatapath{node: func() *netsim.Node { return b.node }, nw: nw, port: cfg.ForwardPort},
-		dmtp.BufferConfig{
-			CapacityBytes: cfg.CapacityBytes,
-			Stats:         &b.Stats.BufferStats,
-			Recorder:      cfg.Recorder,
-			Clock:         loopClock{nw},
-		},
-	)
+	// Every shard shares one stats struct — sound under the simulator's
+	// single event-loop goroutine — so callers keep reading b.Stats.
+	b.eng = dmtp.NewShardedBuffer(nsh, func(int) *dmtp.BufferEngine {
+		return dmtp.NewBufferEngine(
+			nodeDatapath{node: func() *netsim.Node { return b.node }, nw: nw, port: cfg.ForwardPort},
+			dmtp.BufferConfig{
+				CapacityBytes: perShard,
+				Stats:         &b.Stats.BufferStats,
+				Recorder:      cfg.Recorder,
+				Clock:         loopClock{nw},
+			},
+		)
+	})
 	return b
 }
 
@@ -116,8 +171,66 @@ func (b *BufferNode) Node() *netsim.Node { return b.node }
 // Addr returns the buffer's address (what upgraded headers point at).
 func (b *BufferNode) Addr() wire.Addr { return b.node.Addr }
 
-// BufferedBytes returns current buffer occupancy.
+// BufferedBytes returns current buffer occupancy across all shards.
 func (b *BufferNode) BufferedBytes() int { return b.eng.BufferedBytes() }
+
+// SeqOf returns the last sequence number this node assigned to exp (zero
+// if it never sequenced the experiment). Campaign oracles use it to prove
+// sequence state never bleeds across flows.
+func (b *BufferNode) SeqOf(exp wire.ExperimentID) uint64 { return b.eng.SeqOf(exp) }
+
+// FlowStats returns the node's flow-table counters.
+func (b *BufferNode) FlowStats() dmtp.FlowStats { return b.flowStats }
+
+// flowFor returns the registered flow for (src, exp), registering it on
+// first sight. Returns nil when the registration is rejected (table full,
+// or the resolver refused the flow).
+func (b *BufferNode) flowFor(src wire.Addr, exp wire.ExperimentID) *simFlow {
+	now := b.nw.Now()
+	k := simFlowKey{src: src, exp: exp}
+	if fl, ok := b.flows[k]; ok {
+		fl.lastSeen = now
+		return fl
+	}
+	if b.cfg.MaxFlows > 0 && len(b.flows) >= b.cfg.MaxFlows {
+		b.flowStats.Rejected++
+		return nil
+	}
+	dst, port := b.cfg.Forward, b.cfg.ForwardPort
+	if b.cfg.Resolver != nil {
+		dst, port = b.cfg.Resolver(src, exp)
+		if dst.IsZero() {
+			b.flowStats.Rejected++
+			return nil
+		}
+	}
+	fl := &simFlow{dst: dst, port: port, lastSeen: now}
+	b.flows[k] = fl
+	b.flowStats.Opened++
+	b.flowStats.Active++
+	return fl
+}
+
+// sweepFlows lazily expires idle flows; invoked from the frame path so it
+// advances with virtual time, at most once per half-TTL.
+func (b *BufferNode) sweepFlows() {
+	ttl := b.cfg.FlowTTL
+	if ttl <= 0 {
+		ttl = 60 * time.Second
+	}
+	now := b.nw.Now()
+	if now-b.lastSweep < sim.Time(ttl)/2 {
+		return
+	}
+	b.lastSweep = now
+	for k, fl := range b.flows {
+		if now-fl.lastSeen >= sim.Time(ttl) {
+			delete(b.flows, k)
+			b.flowStats.Expired++
+			b.flowStats.Active--
+		}
+	}
+}
 
 // RegisterMetrics publishes the node's metric set on reg: the engine's
 // dmtp.buf.* counters (via the shared helper, so names match the live
@@ -133,6 +246,10 @@ func (b *BufferNode) RegisterMetrics(reg *metrics.Registry) {
 	reg.RegisterFunc(metrics.MetricRelayForwarded, func() int64 { return int64(b.Stats.Forwarded) })
 	reg.RegisterFunc(metrics.MetricRelayRepointed, func() int64 { return int64(b.Stats.Repointed) })
 	reg.RegisterFunc(metrics.MetricRelayDroppedDown, func() int64 { return int64(b.Stats.DroppedDown) })
+	dmtp.RegisterFlowMetrics(reg, b.FlowStats)
+	for i := 0; i < b.eng.NumShards(); i++ {
+		dmtp.RegisterShardOccupancy(reg, i, b.eng.At(i).BufferedBytes)
+	}
 	b.reshapeC = reg.Counter(fmt.Sprintf("%s%d", metrics.MetricRelayReshapePrefix, b.cfg.Upgrade.ConfigID))
 	dmtp.RegisterPoolMetrics(reg)
 }
@@ -144,8 +261,15 @@ func (b *BufferNode) Attach(n *netsim.Node) { b.node = n }
 // arriving frame — data, NAKs, ACKs, transit — is discarded, and the
 // retransmission buffer is lost. Sequence counters survive (the journalled
 // state a production relay recovers); buffered payloads do not, so
-// post-Restart NAKs for pre-crash packets meet a cold buffer.
-func (b *BufferNode) Crash() { b.eng.Crash() }
+// post-Restart NAKs for pre-crash packets meet a cold buffer. The flow
+// table dies with the process: flows re-register (and re-resolve their
+// downstream route) on their first post-Restart packet, so no stale
+// forward address survives a crash.
+func (b *BufferNode) Crash() {
+	b.eng.Crash()
+	clear(b.flows)
+	b.flowStats.Active = 0
+}
 
 // Restart brings a crashed node back into service with a cold buffer.
 func (b *BufferNode) Restart() { b.eng.Restart() }
@@ -159,6 +283,7 @@ func (b *BufferNode) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 		b.Stats.DroppedDown++
 		return
 	}
+	b.sweepFlows()
 	v := wire.View(f.Data)
 	if _, err := v.Check(); err != nil {
 		return
@@ -177,15 +302,26 @@ func (b *BufferNode) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 		return
 	}
 	if v.ConfigID() != b.cfg.UpgradeFrom {
-		// Already upgraded or an unknown mode: pass through downstream.
-		b.send(b.cfg.ForwardPort, b.cfg.Forward, f.Data)
+		// Already upgraded or an unknown mode: pass through downstream
+		// along the packet's registered flow.
+		fl := b.flowFor(f.Src, v.Experiment())
+		if fl == nil {
+			return
+		}
+		b.send(fl.port, fl.dst, f.Data)
 		b.Stats.Forwarded++
 		return
 	}
-	b.upgradeAndForward(v)
+	b.upgradeAndForward(f.Src, v)
 }
 
-func (b *BufferNode) upgradeAndForward(v wire.View) {
+func (b *BufferNode) upgradeAndForward(src wire.Addr, v wire.View) {
+	// Register the flow before spending a sequence number, so a rejected
+	// flow (table full, resolver refusal) consumes no sequencing state.
+	fl := b.flowFor(src, v.Experiment())
+	if fl == nil {
+		return
+	}
 	// FeatTraced rides along: an upgrade must not strip an in-band trace,
 	// and the reshape itself is recorded as a hop stamp below.
 	want := b.cfg.Upgrade.Features | v.Features()&wire.FeatTraced
@@ -229,7 +365,7 @@ func (b *BufferNode) upgradeAndForward(v wire.View) {
 		// left this node.
 		b.eng.Stash(exp, seq, []byte(up.Clone()))
 	}
-	b.send(b.cfg.ForwardPort, b.cfg.Forward, up)
+	b.send(fl.port, fl.dst, up)
 	b.Stats.Forwarded++
 }
 

@@ -18,6 +18,8 @@
 //	/events?kind=K   only events of kind K ("nak-sent", "reshape", …)
 //	/events?n=N      only the most recent N events (after kind filtering)
 //	/trace           collected spans as Chrome trace-event JSON (Perfetto)
+//	/flows           the relay's flow table, one line per registered flow
+//	/flows?format=json    JSON array of flows
 //	/healthz         200 "ok" (liveness probe)
 //	/debug/pprof/    the standard net/http/pprof handlers
 //
@@ -52,6 +54,22 @@ type Config struct {
 	// Tracer backs /trace. Nil serves an empty (but schema-valid) trace
 	// document.
 	Tracer *tracespan.Collector
+	// Flows backs /flows: a snapshot of the daemon's flow table. Nil
+	// serves an empty list (single-flow daemons simply omit it).
+	Flows func() []FlowInfo
+}
+
+// FlowInfo is one registered flow as served by /flows. The daemon
+// converts from its own flow-table representation; debugsrv stays
+// decoupled from the relay packages.
+type FlowInfo struct {
+	Src        string `json:"src"`
+	Experiment uint32 `json:"experiment"`
+	Dst        string `json:"dst"`
+	Shard      int    `json:"shard"`
+	Upgraded   uint64 `json:"upgraded"`
+	Forwarded  uint64 `json:"forwarded"`
+	IdleNs     int64  `json:"idle_ns"`
 }
 
 // Server is a running debug endpoint.
@@ -83,6 +101,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/flows", s.handleFlows)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -162,6 +181,35 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	start := time.Now()
 	w.Header().Set("Content-Type", "application/json")
 	s.cfg.Tracer.WriteTraceJSON(w)
+	s.scrapeNs.ObserveDuration(time.Since(start))
+}
+
+// handleFlows serves the daemon's flow table: one line per flow as text,
+// or a JSON array with ?format=json ([] when the table is empty or no
+// snapshot hook is wired, never null).
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	start := time.Now()
+	var flows []FlowInfo
+	if s.cfg.Flows != nil {
+		flows = s.cfg.Flows()
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if flows == nil {
+			flows = []FlowInfo{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(flows)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, f := range flows {
+			fmt.Fprintf(w, "flow src=%s exp=%d dst=%s shard=%d upgraded=%d forwarded=%d idle=%s\n",
+				f.Src, f.Experiment, f.Dst, f.Shard, f.Upgraded, f.Forwarded,
+				time.Duration(f.IdleNs))
+		}
+	}
 	s.scrapeNs.ObserveDuration(time.Since(start))
 }
 

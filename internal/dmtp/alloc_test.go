@@ -125,6 +125,42 @@ func TestCampaignScenarioLoopZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestShardedStashZeroAlloc extends the stash gate to the sharded path:
+// once warm, driving several experiments through ShardedBuffer —
+// shard selection, sequence assignment, stash, periodic trim —
+// allocates nothing. Shard routing is pure arithmetic; partitioning
+// must not reintroduce per-packet cost.
+func TestShardedStashZeroAlloc(t *testing.T) {
+	sb := NewShardedBuffer(4, func(int) *BufferEngine {
+		return NewBufferEngine(nopDatapath{}, BufferConfig{})
+	})
+	exps := []wire.ExperimentID{
+		wire.NewExperimentID(101, 0),
+		wire.NewExperimentID(202, 0),
+		wire.NewExperimentID(303, 0),
+	}
+	stashes := make([][]byte, len(exps))
+	for i := range stashes {
+		pkt := seqPacket(t, 1, wire.AddrFrom(10, 0, 0, 1, 100), "payload")
+		stashes[i] = append([]byte(nil), pkt...) // engine-owned copies, setup alloc
+	}
+	step := func() {
+		for i, exp := range exps {
+			seq := sb.NextSeq(exp)
+			sb.Stash(exp, seq, stashes[i])
+			if seq%16 == 0 {
+				sb.Trim(exp, seq)
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		step() // warm: per-shard map buckets and order rings
+	}
+	if avg := testing.AllocsPerRun(300, step); avg != 0 {
+		t.Fatalf("sharded stash loop allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
 // TestServeNAKUntracedZeroAlloc locks in the relay-side invariant: serving
 // NAKs from a stash of untraced (and sampled-out) packets — the path that
 // probes every stash entry with TraceSampled before retransmitting —

@@ -109,6 +109,12 @@ func (b *BufferEngine) NextSeq(exp wire.ExperimentID) uint64 {
 	return b.seqs[exp]
 }
 
+// SeqOf returns the last sequence number assigned to exp, zero if none.
+// Oracles use it to check which experiments an upgrader actually
+// sequenced (a delivery for an experiment with SeqOf == 0 means
+// sequence state bled across flows).
+func (b *BufferEngine) SeqOf(exp wire.ExperimentID) uint64 { return b.seqs[exp] }
+
 // Crash models the buffering process dying: the retransmission buffer
 // is lost (entries are released), and the engine marks itself down so
 // the adapter discards traffic until Restart. Sequence counters survive

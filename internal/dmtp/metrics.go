@@ -1,6 +1,8 @@
 package dmtp
 
 import (
+	"strconv"
+
 	"repro/internal/metrics"
 	"repro/internal/tracespan"
 	"repro/internal/wire"
@@ -56,6 +58,37 @@ func RegisterBufferMetrics(reg *metrics.Registry, snap func() BufferStats, occup
 	reg.RegisterFunc(metrics.MetricBufNAKMisses, func() int64 { return int64(snap().Misses) })
 	reg.RegisterFunc(metrics.MetricBufCrashes, func() int64 { return int64(snap().Crashes) })
 	reg.RegisterFunc(metrics.MetricBufOccupancyBytes, func() int64 { return int64(occupancy()) })
+}
+
+// FlowStats are a relay's flow-table counters (see dmtp.relay.flows.*).
+// Both substrates' many-flow adapters fill one from their own state so
+// the exported metric names match by construction.
+type FlowStats struct {
+	// Active is the number of currently registered flows.
+	Active uint64
+	// Opened counts flows ever registered (first packet seen).
+	Opened uint64
+	// Expired counts flows dropped after exceeding the idle TTL.
+	Expired uint64
+	// Rejected counts refused registrations (table full, or no route).
+	Rejected uint64
+}
+
+// RegisterFlowMetrics publishes the dmtp.relay.flows.* set on reg,
+// sampling snap at scrape time.
+func RegisterFlowMetrics(reg *metrics.Registry, snap func() FlowStats) {
+	reg.RegisterFunc(metrics.MetricRelayFlowsActive, func() int64 { return int64(snap().Active) })
+	reg.RegisterFunc(metrics.MetricRelayFlowsOpened, func() int64 { return int64(snap().Opened) })
+	reg.RegisterFunc(metrics.MetricRelayFlowsExpired, func() int64 { return int64(snap().Expired) })
+	reg.RegisterFunc(metrics.MetricRelayFlowsRejected, func() int64 { return int64(snap().Rejected) })
+}
+
+// RegisterShardOccupancy publishes one shard's stash-occupancy gauge
+// (the dmtp.buf.occupancy_bytes.shard<N> family), sampled at scrape
+// time.
+func RegisterShardOccupancy(reg *metrics.Registry, shard int, occupancy func() int) {
+	reg.RegisterFunc(metrics.MetricBufShardOccupancyPrefix+strconv.Itoa(shard),
+		func() int64 { return int64(occupancy()) })
 }
 
 // RegisterTraceMetrics publishes the dmtp.trace.* set on reg: the collector's

@@ -176,9 +176,11 @@ type batchConn struct {
 	caps  BatchCaps
 	k     *kernelBatch // nil on the portable path
 
-	// Portable-path read state: one datagram per ReadBatch.
+	// Portable-path read state: one datagram per ReadBatch, with its
+	// source address (for PacketsSrc flow demultiplexing).
 	rbuf []byte
 	rlen int
+	rsrc wire.Addr
 }
 
 // newBatchConn probes c and builds the appropriate datapath. wantRead
@@ -219,11 +221,17 @@ func (bc *batchConn) ReadBatch() (int, error) {
 		return bc.k.readBatch()
 	}
 	bc.stats.fallback()
-	n, _, err := bc.c.ReadFromUDP(bc.rbuf)
+	n, from, err := bc.c.ReadFromUDP(bc.rbuf)
 	if err != nil {
 		return 0, err
 	}
 	bc.rlen = n
+	bc.rsrc = wire.Addr{}
+	if from != nil {
+		if a, aerr := toWireAddr(from); aerr == nil {
+			bc.rsrc = a
+		}
+	}
 	bc.stats.recvPkts.Add(1)
 	return 1, nil
 }
@@ -238,6 +246,21 @@ func (bc *batchConn) Packets(n int, fn func(pkt []byte)) {
 	}
 	if n > 0 {
 		fn(bc.rbuf[:bc.rlen])
+	}
+}
+
+// PacketsSrc is Packets with each wire packet's source address attached
+// — the relay's flow-demultiplexing ingest. GRO only coalesces
+// datagrams of a single flow, so split segments inherit their
+// datagram's source. A zero src means the source could not be captured
+// (non-IPv4 peer); callers treat those as unroutable.
+func (bc *batchConn) PacketsSrc(n int, fn func(pkt []byte, src wire.Addr)) {
+	if bc.k != nil {
+		bc.k.packetsSrc(n, fn)
+		return
+	}
+	if n > 0 {
+		fn(bc.rbuf[:bc.rlen], bc.rsrc)
 	}
 }
 

@@ -58,11 +58,13 @@ type kernelBatch struct {
 	caps  *BatchCaps
 
 	// Receive ring (wantRead only): batchRingSize pooled 64 KiB
-	// buffers, each with a small control buffer for the GRO cmsg.
+	// buffers, each with a small control buffer for the GRO cmsg and a
+	// sockaddr_in slot the kernel fills with the datagram's source.
 	rbufs  [][]byte
 	riovs  []syscall.Iovec
 	rhdrs  []mmsghdr
 	rctrls [][]byte
+	rnames []syscall.RawSockaddrInet4
 	rlens  []int // kernel-reported datagram lengths, per slot
 	rsegs  []int // GRO segment size per slot (0 = not coalesced)
 	nread  int
@@ -139,6 +141,7 @@ func newKernelBatch(uc *net.UDPConn, stats *batchStats, wantRead bool, caps *Bat
 		k.riovs = make([]syscall.Iovec, batchRingSize)
 		k.rhdrs = make([]mmsghdr, batchRingSize)
 		k.rctrls = make([][]byte, batchRingSize)
+		k.rnames = make([]syscall.RawSockaddrInet4, batchRingSize)
 		k.rlens = make([]int, batchRingSize)
 		k.rsegs = make([]int, batchRingSize)
 		for i := range k.rhdrs {
@@ -148,6 +151,7 @@ func newKernelBatch(uc *net.UDPConn, stats *batchStats, wantRead bool, caps *Bat
 			k.rhdrs[i].Hdr.Iov = &k.riovs[i]
 			k.rhdrs[i].Hdr.Iovlen = 1
 			k.rhdrs[i].Hdr.Control = &k.rctrls[i][0]
+			k.rhdrs[i].Hdr.Name = (*byte)(unsafe.Pointer(&k.rnames[i]))
 		}
 		k.readFn = func(fd uintptr) bool {
 			n, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
@@ -181,12 +185,14 @@ func (k *kernelBatch) close() {
 // by packets.
 func (k *kernelBatch) readBatch() (int, error) {
 	for i := range k.rhdrs {
-		// The kernel writes Controllen and Flags on delivery; reset
-		// them so a slot that received a GRO cmsg last round does not
-		// leak it into this one.
+		// The kernel writes Controllen, Namelen and Flags on delivery;
+		// reset them so a slot that received a GRO cmsg (or a source
+		// address) last round does not leak it into this one.
 		k.rhdrs[i].Hdr.Controllen = uint64(len(k.rctrls[i]))
+		k.rhdrs[i].Hdr.Namelen = syscall.SizeofSockaddrInet4
 		k.rhdrs[i].Hdr.Flags = 0
 		k.rhdrs[i].Len = 0
+		k.rnames[i].Family = 0
 	}
 	if err := k.rc.Read(k.readFn); err != nil {
 		return 0, err
@@ -240,6 +246,37 @@ func (k *kernelBatch) packets(n int, fn func(pkt []byte)) {
 				end = len(buf)
 			}
 			fn(buf[off:end])
+		}
+	}
+}
+
+// packetsSrc is packets with the datagram's source address attached to
+// every wire packet. GRO only coalesces datagrams of one flow, so all
+// segments split from a slot share that slot's source.
+func (k *kernelBatch) packetsSrc(n int, fn func(pkt []byte, src wire.Addr)) {
+	if n > len(k.rhdrs) {
+		n = len(k.rhdrs)
+	}
+	for i := 0; i < n; i++ {
+		var src wire.Addr
+		if k.rnames[i].Family == syscall.AF_INET {
+			src.IP = k.rnames[i].Addr
+			// sin_port is network byte order in the raw sockaddr.
+			p := k.rnames[i].Port
+			src.Port = p>>8 | p<<8
+		}
+		buf := k.rbufs[i][:k.rlens[i]]
+		seg := k.rsegs[i]
+		if seg <= 0 || len(buf) <= seg {
+			fn(buf, src)
+			continue
+		}
+		for off := 0; off < len(buf); off += seg {
+			end := off + seg
+			if end > len(buf) {
+				end = len(buf)
+			}
+			fn(buf[off:end], src)
 		}
 	}
 }

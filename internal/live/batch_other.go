@@ -2,7 +2,11 @@
 
 package live
 
-import "net"
+import (
+	"net"
+
+	"repro/internal/wire"
+)
 
 // kernelBatch is unavailable on this platform (no recvmmsg/sendmmsg,
 // or a 32-bit msghdr ABI the batch path does not carry); batchConn
@@ -16,5 +20,6 @@ func newKernelBatch(*net.UDPConn, *batchStats, bool, *BatchCaps) *kernelBatch { 
 
 func (*kernelBatch) readBatch() (int, error)                        { return 0, nil }
 func (*kernelBatch) packets(int, func([]byte))                      {}
+func (*kernelBatch) packetsSrc(int, func([]byte, wire.Addr))        {}
 func (*kernelBatch) writeBatch([][]byte, *net.UDPAddr) (int, error) { return 0, nil }
 func (*kernelBatch) close()                                         {}

@@ -98,3 +98,29 @@ func BenchmarkLiveLoopbackBatched(b *testing.B) {
 		b.ReportMetric(float64(bs.SentPackets)/float64(bs.Syscalls), "pkts/syscall")
 	}
 }
+
+// BenchmarkFanIn measures many-flow relay scale-out: 8 concurrent flows
+// through one sharded relay to 2 receivers on real loopback sockets
+// (internal/live.RunFanIn, the same harness behind cmd/benchtab's f1
+// section). b.N is the total message budget split across the flows. The
+// headline metric is the offered aggregate msgs/s; relay/s and
+// delivered/s report what the relay serviced, and jain reports per-flow
+// service fairness (1.0 = every flow served equally).
+func BenchmarkFanIn(b *testing.B) {
+	const flows = 8
+	msgs := b.N / flows
+	if msgs < 1 {
+		msgs = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := RunFanIn(FanInConfig{Flows: flows, Messages: msgs})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.AggregateMsgsPerSec, "msgs/s")
+	b.ReportMetric(res.RelayMsgsPerSec, "relay/s")
+	b.ReportMetric(res.DeliveredPerSec, "delivered/s")
+	b.ReportMetric(res.JainFairness, "jain")
+}

@@ -492,458 +492,3 @@ func (s *Sender) Close() error {
 	s.wg.Wait()
 	return err
 }
-
-// RelayConfig configures the software network element.
-type RelayConfig struct {
-	// Listen is the UDP address to bind, e.g. "127.0.0.1:17580".
-	Listen string
-	// Forward is where upgraded packets are sent (the receiver).
-	Forward string
-	// MaxAge is the age budget installed into upgraded packets.
-	MaxAge time.Duration
-	// DeadlineBudget is the delivery budget; zero disables deadlines.
-	DeadlineBudget time.Duration
-	// CapacityBytes bounds the retransmission buffer (default 64 MiB).
-	CapacityBytes int
-	// DropEveryN, when > 0, deliberately drops every Nth forwarded data
-	// packet — fault injection so loopback demos exercise recovery.
-	// internal/faults supersedes this for scripted schedules.
-	DropEveryN int
-	// Wrap, when non-nil, decorates the socket (fault middleware); it is
-	// re-applied to the fresh socket on Restart.
-	Wrap func(UDPConn) UDPConn
-	// Clock overrides the relay clock (origin timestamps, deadlines);
-	// nil means the wall clock. The conformance suite injects a
-	// dmtp.FakeClock here.
-	Clock dmtp.Clock
-	// Recorder, when non-nil, receives flight-recorder events (reshape,
-	// injected-drop, plus the buffer engine's nak-served / nak-miss /
-	// evict / trim / crash / restart). Nil disables flight recording.
-	Recorder *metrics.FlightRecorder
-	// TraceSample, when positive, originates a sampled in-band trace on
-	// every TraceSample'th upgraded packet that does not already carry one
-	// — adding FeatTraced is just another config rewrite at the upgrade
-	// boundary. Traces arriving from the sender are preserved regardless.
-	TraceSample int
-}
-
-// RelayStats are cumulative relay counters.
-type RelayStats struct {
-	Upgraded      uint64
-	Forwarded     uint64
-	InjectedDrops uint64
-	NAKs          uint64
-	Retransmits   uint64
-	Misses        uint64
-	Trimmed       uint64 // stash entries released after cumulative ACK
-	Crashes       uint64
-	TxErrors      uint64 // packets dropped by failed fire-and-forget writes
-}
-
-// Relay is the live-path network element + buffer. The retransmission
-// stash, NAK service, cumulative-ACK trim and crash/restart live in
-// dmtp.BufferEngine; this type adapts them to UDP sockets, with pooled
-// stash buffers released back to wire's shared pool.
-type Relay struct {
-	cfg     RelayConfig
-	fwdAddr *net.UDPAddr
-	clock   dmtp.Clock
-
-	mu       sync.Mutex
-	conn     UDPConn
-	bound    *net.UDPAddr // concrete bind address, reused by Restart
-	self     wire.Addr
-	stats    RelayStats // adapter counters: Upgraded, Forwarded, InjectedDrops
-	eng      *dmtp.BufferEngine
-	engStats dmtp.BufferStats
-	nak      wire.NAK // scratch decode target for handleControl
-	upgradeN uint64   // upgraded packets, driving boundary trace sampling
-	// reshapeC counts reshapes into the relay's output config; installed
-	// by RegisterMetrics, nil (and skipped) until then.
-	reshapeC *metrics.Counter
-	closed   bool
-	wg       sync.WaitGroup
-
-	// bc is the batch datapath over the current socket (rebuilt by
-	// bind on Restart). fwdq queues this burst's forward-leg packets so
-	// one WriteBatchTo — a single sendmmsg or GSO super-send — carries
-	// them all; it is always drained before r.mu is released.
-	bc     *batchConn
-	fwdq   [][]byte
-	bstats batchStats
-	txErr  atomic.Pointer[metrics.Counter]
-}
-
-// BatchStats returns the relay's kernel-batch datapath counters.
-func (r *Relay) BatchStats() BatchStats { return r.bstats.snapshot() }
-
-// BatchCaps reports which kernel batching features the relay's current
-// socket probed to.
-func (r *Relay) BatchCaps() BatchCaps {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.bc == nil {
-		return BatchCaps{}
-	}
-	return r.bc.Caps()
-}
-
-// countTxErrLocked records n packets dropped by fire-and-forget writes.
-func (r *Relay) countTxErrLocked(n int) {
-	if n <= 0 {
-		return
-	}
-	r.stats.TxErrors += uint64(n)
-	if c := r.txErr.Load(); c != nil {
-		c.Add(uint64(n))
-	}
-}
-
-// NewRelay binds the relay and starts its receive loop.
-func NewRelay(cfg RelayConfig) (*Relay, error) {
-	if cfg.Clock == nil {
-		cfg.Clock = dmtp.WallClock{}
-	}
-	fwd, err := net.ResolveUDPAddr("udp4", cfg.Forward)
-	if err != nil {
-		return nil, fmt.Errorf("live: resolve forward %q: %w", cfg.Forward, err)
-	}
-	r := &Relay{
-		cfg:     cfg,
-		fwdAddr: fwd,
-		clock:   cfg.Clock,
-	}
-	r.eng = dmtp.NewBufferEngine(relayDatapath{r}, dmtp.BufferConfig{
-		CapacityBytes: cfg.CapacityBytes,
-		Release:       func(b []byte) { releaseBuffer(b) },
-		Stats:         &r.engStats,
-		Recorder:      cfg.Recorder,
-		Clock:         cfg.Clock,
-	})
-	laddr, err := net.ResolveUDPAddr("udp4", cfg.Listen)
-	if err != nil {
-		return nil, fmt.Errorf("live: resolve listen %q: %w", cfg.Listen, err)
-	}
-	if err := r.bind(laddr); err != nil {
-		return nil, err
-	}
-	return r, nil
-}
-
-// bind opens the socket at laddr and starts the receive loop. Callers are
-// the constructor or Restart (holding r.mu).
-func (r *Relay) bind(laddr *net.UDPAddr) error {
-	conn, err := net.ListenUDP("udp4", laddr)
-	if err != nil {
-		return fmt.Errorf("live: listen %v: %w", laddr, err)
-	}
-	// DAQ senders burst; a deep receive buffer is the userspace analogue
-	// of the DTN tuning the paper describes.
-	conn.SetReadBuffer(8 << 20)
-	self, err := toWireAddr(conn.LocalAddr().(*net.UDPAddr))
-	if err != nil {
-		conn.Close()
-		return err
-	}
-	if self.IP == ([4]byte{0, 0, 0, 0}) {
-		// Bound to the wildcard: advertise loopback so NAKs can reach us
-		// in single-host deployments.
-		self.IP = [4]byte{127, 0, 0, 1}
-	}
-	var c UDPConn = conn
-	if r.cfg.Wrap != nil {
-		c = r.cfg.Wrap(c)
-	}
-	r.conn = c
-	r.bound = conn.LocalAddr().(*net.UDPAddr)
-	r.self = self
-	// The batch datapath reads bursts with recvmmsg (GRO enabled) and
-	// flushes the forward queue with sendmmsg/GSO where the kernel
-	// allows; wrapped sockets fall back to the portable loop so fault
-	// middleware still sees every packet.
-	bc := newBatchConn(c, &r.bstats, true)
-	r.bc = bc
-	r.wg.Add(1)
-	go r.loop(c, bc)
-	return nil
-}
-
-// Addr returns the relay's bound address as a string.
-func (r *Relay) Addr() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.bound.String()
-}
-
-// WireAddr returns the relay's protocol address (what headers point at).
-func (r *Relay) WireAddr() wire.Addr {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.self
-}
-
-// Stats returns a snapshot of the counters: the adapter's forwarding
-// counters merged with the engine's stash/NAK-service counters.
-func (r *Relay) Stats() RelayStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.stats
-	s.NAKs = r.engStats.NAKs
-	s.Retransmits = r.engStats.Retransmits
-	s.Misses = r.engStats.Misses
-	s.Trimmed = r.engStats.Trimmed
-	s.Crashes = r.engStats.Crashes
-	return s
-}
-
-// BufferedBytes returns current retransmission-buffer occupancy.
-func (r *Relay) BufferedBytes() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.eng.BufferedBytes()
-}
-
-// RegisterMetrics publishes the relay's metric set on reg: the engine's
-// dmtp.buf.* counters (via the shared helper, so names match the simulator),
-// the adapter's dmtp.relay.* forwarding counters, the reshape-family counter
-// for the relay's output config, and the shared packet-pool counters. All
-// sampled values are read under the relay lock only at scrape time.
-func (r *Relay) RegisterMetrics(reg *metrics.Registry) {
-	bufSnap := func() dmtp.BufferStats {
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		return r.engStats
-	}
-	dmtp.RegisterBufferMetrics(reg, bufSnap, r.BufferedBytes)
-	snap := r.Stats
-	reg.RegisterFunc(metrics.MetricRelayUpgraded, func() int64 { return int64(snap().Upgraded) })
-	reg.RegisterFunc(metrics.MetricRelayForwarded, func() int64 { return int64(snap().Forwarded) })
-	reg.RegisterFunc(metrics.MetricRelayInjectedDrops, func() int64 { return int64(snap().InjectedDrops) })
-	// The live relay reshapes every mode-0 packet into config 1.
-	c := reg.Counter(metrics.MetricRelayReshapePrefix + "1")
-	r.mu.Lock()
-	r.reshapeC = c
-	r.mu.Unlock()
-	r.bstats.install(reg)
-	r.txErr.Store(reg.Counter(metrics.MetricLiveTxErrors))
-	dmtp.RegisterPoolMetrics(reg)
-}
-
-// relayDatapath serves engine output (NAK retransmissions) over the
-// relay's socket. Socket writes do not retain the packet, so the engine's
-// pooled stash entries go out without copying. Called under r.mu.
-type relayDatapath struct{ r *Relay }
-
-func (d relayDatapath) SendControl(dst wire.Addr, pkt []byte) {
-	if _, err := d.r.conn.WriteToUDP(pkt, toUDPAddr(dst)); err != nil {
-		d.r.countTxErrLocked(1)
-	}
-}
-
-func (d relayDatapath) SendData(dst wire.Addr, pkt []byte) {
-	if _, err := d.r.conn.WriteToUDP(pkt, toUDPAddr(dst)); err != nil {
-		d.r.countTxErrLocked(1)
-	}
-}
-
-// Crash models the relay process dying: the socket closes abruptly and
-// the retransmission buffer is lost. Sequence counters survive (the
-// journalled state a production relay would recover); buffered payloads do
-// not — after Restart the buffer is cold, which is exactly the condition
-// NAK-based recovery must degrade gracefully under.
-func (r *Relay) Crash() {
-	r.mu.Lock()
-	if r.eng.Down() || r.closed {
-		r.mu.Unlock()
-		return
-	}
-	r.eng.Crash() // releases every stash buffer back to the pool
-	conn := r.conn
-	r.mu.Unlock()
-	conn.Close()
-	r.wg.Wait()
-}
-
-// Restart rebinds the crashed relay on its original address with a cold
-// buffer and resumes forwarding. It is an error to Restart a relay that
-// has not crashed or is closed.
-func (r *Relay) Restart() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return fmt.Errorf("live: relay closed")
-	}
-	if !r.eng.Down() {
-		return fmt.Errorf("live: relay not crashed")
-	}
-	if err := r.bind(r.bound); err != nil {
-		return err
-	}
-	r.eng.Restart()
-	return nil
-}
-
-// Down reports whether the relay is crashed and awaiting Restart.
-func (r *Relay) Down() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.eng.Down()
-}
-
-// Close stops the relay.
-func (r *Relay) Close() error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return nil
-	}
-	r.closed = true
-	conn := r.conn
-	wasDown := r.eng.Down()
-	r.mu.Unlock()
-	var err error
-	if !wasDown && conn != nil {
-		err = conn.Close()
-	}
-	r.wg.Wait()
-	return err
-}
-
-func (r *Relay) loop(conn UDPConn, bc *batchConn) {
-	defer r.wg.Done()
-	defer bc.Close()
-	for {
-		n, err := bc.ReadBatch()
-		if err != nil {
-			r.mu.Lock()
-			stop := r.closed || r.eng.Down()
-			r.mu.Unlock()
-			if stop {
-				return
-			}
-			continue
-		}
-		// One lock acquisition per burst. handleLocked is synchronous and
-		// copies anything it retains (the stash reshapes into its own
-		// pooled buffer); forwards are queued and flushed before the lock
-		// is released, so the ring buffers never outlive the burst.
-		r.mu.Lock()
-		bc.Packets(n, func(pkt []byte) { r.handleLocked(bc, pkt) })
-		r.flushForwardsLocked(bc)
-		r.mu.Unlock()
-	}
-}
-
-// flushForwardsLocked drains the queued forward-leg packets with one
-// batched write. Failed tails are dropped (loss recovery is the
-// protocol's job) and counted in dmtp.live.tx.errors.
-func (r *Relay) flushForwardsLocked(bc *batchConn) {
-	n := len(r.fwdq)
-	if n == 0 {
-		return
-	}
-	sent, err := bc.WriteBatchTo(r.fwdq, r.fwdAddr)
-	r.stats.Forwarded += uint64(sent)
-	if err != nil {
-		r.countTxErrLocked(n - sent)
-	}
-	r.fwdq = r.fwdq[:0]
-}
-
-// handleLocked processes one ingested packet under r.mu, queueing any
-// forward on r.fwdq (flushed before the lock is released).
-func (r *Relay) handleLocked(bc *batchConn, pkt []byte) {
-	v := wire.View(pkt)
-	if _, err := v.Check(); err != nil {
-		return
-	}
-	if v.IsControl() {
-		r.handleControlLocked(bc, pkt, v)
-		return
-	}
-	if v.ConfigID() != 0 {
-		// Already upgraded: forward unmodified. The queued slice points
-		// into the batch ring, which is stable until the next ReadBatch —
-		// after this burst's flush.
-		r.fwdq = append(r.fwdq, pkt)
-		return
-	}
-	// Reshape directly into a pooled buffer sized for the upgraded packet;
-	// the buffer doubles as the stash entry (released on evict or crash),
-	// so the upgrade path performs no steady-state allocation.
-	upFeats := wire.FeatSequenced | wire.FeatReliable | wire.FeatAgeTracked | wire.FeatTimely | wire.FeatTimestamped
-	// An in-band trace rides along through the upgrade; the relay can also
-	// originate one at the boundary (add FeatTraced = config rewrite).
-	upFeats |= v.Features() & wire.FeatTraced
-	r.upgradeN++
-	originate := r.cfg.TraceSample > 0 && !upFeats.Has(wire.FeatTraced) &&
-		r.upgradeN%uint64(r.cfg.TraceSample) == 0
-	if originate {
-		upFeats |= wire.FeatTraced
-	}
-	extLen, _ := upFeats.ExtLen()
-	up, err := v.ReshapeInto(wire.GetBuffer(len(pkt)+extLen), 1, upFeats)
-	if err != nil {
-		return
-	}
-	exp := up.Experiment()
-	seq := r.eng.NextSeq(exp)
-	now := r.clock.Now()
-	dmtp.StampUpgrade(up, seq, now, dmtp.Upgrade{
-		Self:           r.self,
-		MaxAge:         r.cfg.MaxAge,
-		DeadlineBudget: r.cfg.DeadlineBudget,
-	})
-	if originate {
-		_ = up.SetTrace(wire.TraceExt{
-			TraceID: uint32(r.upgradeN),
-			Flags:   wire.TraceSampledFlag,
-		})
-	}
-	if up.TraceSampled() {
-		_ = up.AppendHopStamp(wire.TraceReshapeHop(up.ConfigID()), now)
-	}
-	r.stats.Upgraded++
-	if r.reshapeC != nil {
-		r.reshapeC.Inc()
-	}
-	r.cfg.Recorder.RecordAt(now, metrics.EvReshape, uint64(exp), seq, uint64(up.ConfigID()))
-	// The stash takes ownership of the pooled buffer; it is released on
-	// eviction, cumulative-ACK trim, or crash. Queued forwards reference
-	// stash-owned buffers, so if this stash would evict (and release)
-	// entries, the queue must drain first — an evicted buffer could be
-	// one queued earlier in this burst.
-	if len(r.fwdq) > 0 && r.eng.BufferedBytes()+len(up) > r.eng.CapacityBytes() {
-		r.flushForwardsLocked(bc)
-	}
-	r.eng.Stash(exp, seq, up)
-	if r.cfg.DropEveryN > 0 && seq%uint64(r.cfg.DropEveryN) == 0 {
-		r.stats.InjectedDrops++
-		r.cfg.Recorder.RecordAt(now, metrics.EvInjectedDrop, uint64(exp), seq, 0)
-		return
-	}
-	r.fwdq = append(r.fwdq, up)
-}
-
-// handleControlLocked serves NAKs and ACKs under r.mu. Queued forwards
-// are flushed first: retransmissions must not overtake data queued
-// earlier in the burst, and an ACK trim releases stash buffers the
-// queue may still reference.
-func (r *Relay) handleControlLocked(bc *batchConn, pkt []byte, v wire.View) {
-	r.flushForwardsLocked(bc)
-	switch v.ConfigID() {
-	case wire.ConfigNAK:
-		// Decode into the relay's scratch NAK, reusing its Ranges capacity.
-		nak := &r.nak
-		if err := nak.DecodeFrom(pkt); err != nil {
-			return
-		}
-		r.eng.ServeNAK(nak)
-	case wire.ConfigAck:
-		ack, err := wire.DecodeAck(pkt)
-		if err != nil {
-			return
-		}
-		r.eng.Trim(ack.Experiment, ack.CumulativeSeq)
-	}
-}

@@ -1,0 +1,399 @@
+package live
+
+// Flow-table and shard tests for the many-flow relay: registration and
+// idle expiry, the crash-clears-flows invariant (no stale forward address
+// survives a restart), per-flow NAK-service isolation across a crash, the
+// multi-flow forward path's zero-alloc gate, and a -race torture test
+// hammering a single shard from many flows.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dmtp"
+	"repro/internal/wire"
+)
+
+// mode0Pkt encodes a bare mode-0 data packet for one flow.
+func mode0Pkt(t *testing.T, exp uint32, payload string) []byte {
+	t.Helper()
+	h := wire.Header{ConfigID: 0, Experiment: wire.NewExperimentID(exp, 0)}
+	enc, err := h.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(enc, payload...)
+}
+
+// TestRelayFlowIdleExpiry drives the flow table on a fake clock: a flow
+// idle past FlowTTL is dropped by the sweep the next burst triggers, and
+// counted in dmtp.relay.flows.expired.
+func TestRelayFlowIdleExpiry(t *testing.T) {
+	recv, err := NewReceiver(ReceiverConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	fc := dmtp.NewFakeClock(0)
+	relay, err := NewRelay(RelayConfig{
+		Listen:  "127.0.0.1:0",
+		Forward: recv.Addr(),
+		FlowTTL: time.Second,
+		Clock:   fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	sndA, err := NewSender(relay.Addr(), 701)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sndA.Close()
+	if err := sndA.Send([]byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return relay.FlowStats().Active == 1 }, "flow A registration")
+
+	// Two fake seconds of idleness, then a packet on a second flow: the
+	// burst triggers the sweep, which must expire only the idle flow.
+	fc.AdvanceTo(int64(2 * time.Second))
+	sndB, err := NewSender(relay.Addr(), 702)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sndB.Close()
+	if err := sndB.Send([]byte("b"), 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return relay.FlowStats().Expired == 1 }, "flow A expiry")
+
+	fs := relay.FlowStats()
+	if fs.Active != 1 || fs.Opened != 2 {
+		t.Fatalf("flow stats after expiry: %+v", fs)
+	}
+	flows := relay.Flows()
+	if len(flows) != 1 || flows[0].Experiment != wire.NewExperimentID(702, 0) {
+		t.Fatalf("surviving flows: %+v", flows)
+	}
+}
+
+// TestRelayCrashClearsFlowsAndReResolves is the stale-forward-address
+// regression test, run with two concurrent flows. Before the crash each
+// flow recovers its injected drops through per-flow NAK service. Crash
+// must empty the flow table; after Restart the flows re-register and
+// re-resolve, so flow B lands on its *new* receiver instead of the
+// address it had resolved before the crash — and each flow's NAK service
+// keeps working against the rebuilt table without touching the other
+// flow's stream.
+func TestRelayCrashClearsFlowsAndReResolves(t *testing.T) {
+	mkRecv := func(wantExp uint32, wrong *atomic.Uint64) *Receiver {
+		r, err := NewReceiver(ReceiverConfig{
+			Listen:   "127.0.0.1:0",
+			NAKDelay: 2 * time.Millisecond,
+			NAKRetry: 10 * time.Millisecond,
+			MaxNAKs:  10,
+			OnMessage: func(m Message) {
+				if uint32(m.Experiment)>>8 != wantExp {
+					wrong.Add(1)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		return r
+	}
+	var wrongA, wrongB atomic.Uint64
+	recvA := mkRecv(777, &wrongA)
+	recvB := mkRecv(888, &wrongB)
+	recvB2 := mkRecv(888, &wrongB)
+
+	var routeMu sync.Mutex
+	route := map[uint32]string{777: recvA.Addr(), 888: recvB.Addr()}
+	relay, err := NewRelay(RelayConfig{
+		Listen: "127.0.0.1:0",
+		Resolver: func(_ wire.Addr, exp wire.ExperimentID) string {
+			routeMu.Lock()
+			defer routeMu.Unlock()
+			return route[uint32(exp)>>8]
+		},
+		Shards:     2,
+		MaxAge:     5 * time.Second,
+		DropEveryN: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	sndA, err := NewSender(relay.Addr(), 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sndA.Close()
+	sndB, err := NewSender(relay.Addr(), 888)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sndB.Close()
+
+	send := func(s *Sender, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := s.Send([]byte(fmt.Sprintf("m-%04d", i)), 0); err != nil {
+				t.Fatal(err)
+			}
+			if i%20 == 19 {
+				time.Sleep(time.Millisecond) // mode 0 is unreliable; don't outrun loopback
+			}
+		}
+	}
+
+	// Phase 1: 45 messages per flow; seqs 10/20/30/40 of each are dropped
+	// at the relay and recovered by that flow's own NAKs.
+	send(sndA, 45)
+	send(sndB, 45)
+	waitFor(t, 10*time.Second, func() bool {
+		return recvA.Stats().Delivered == 45 && recvB.Stats().Delivered == 45 &&
+			recvA.OutstandingGaps() == 0 && recvB.OutstandingGaps() == 0
+	}, "phase-1 delivery on both flows")
+	if recvA.Stats().Recovered == 0 || recvB.Stats().Recovered == 0 {
+		t.Fatalf("no per-flow recovery: A %+v, B %+v", recvA.Stats(), recvB.Stats())
+	}
+	if fs := relay.FlowStats(); fs.Active != 2 || fs.Opened != 2 {
+		t.Fatalf("phase-1 flow stats: %+v", fs)
+	}
+	for _, f := range relay.Flows() {
+		if f.Upgraded != 45 {
+			t.Fatalf("flow %v upgraded %d, want 45", f.Experiment, f.Upgraded)
+		}
+	}
+
+	// Crash: the flow table must be emptied, not kept for Restart.
+	relay.Crash()
+	if n := len(relay.Flows()); n != 0 {
+		t.Fatalf("%d flows survived the crash", n)
+	}
+	if fs := relay.FlowStats(); fs.Active != 0 {
+		t.Fatalf("flow stats after crash: %+v", fs)
+	}
+
+	// Flow B's receiver moves while the relay is down. A relay that
+	// revived its pre-crash flow entries would keep forwarding to the old
+	// address; re-registration must resolve the new one.
+	routeMu.Lock()
+	route[888] = recvB2.Addr()
+	routeMu.Unlock()
+	if err := relay.Restart(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: 23 more per flow (seqs 46..68; 50 and 60 are dropped and
+	// must be recovered from the post-restart stash, per flow).
+	send(sndA, 23)
+	send(sndB, 23)
+	waitFor(t, 10*time.Second, func() bool {
+		return recvA.Stats().Delivered == 68 && recvB2.Stats().Delivered == 23 &&
+			recvA.OutstandingGaps() == 0 && recvB2.OutstandingGaps() == 0
+	}, "phase-2 delivery after restart")
+
+	if got := recvB.Stats().Delivered; got != 45 {
+		t.Fatalf("old receiver B got %d deliveries, want 45 (stale forward address revived)", got)
+	}
+	if recvB2.Stats().Recovered == 0 {
+		t.Fatalf("flow B's post-restart drops were not NAK-recovered: %+v", recvB2.Stats())
+	}
+	if wrongA.Load() != 0 || wrongB.Load() != 0 {
+		t.Fatalf("cross-flow deliveries: A saw %d foreign, B saw %d", wrongA.Load(), wrongB.Load())
+	}
+	if fs := relay.FlowStats(); fs.Active != 2 || fs.Opened != 4 {
+		t.Fatalf("phase-2 flow stats: %+v", fs)
+	}
+}
+
+// TestRelayMultiFlowForwardAllocs gates the multi-flow forward fast path:
+// once warm, ingesting and forwarding a burst that spans four flows on
+// two shards — flow lookup, reshape into a pooled stash buffer, per-flow
+// queue, batched per-flow flush, periodic cumulative trim — performs zero
+// allocations. The burst is driven directly through the shard handlers
+// (the loop goroutine stays parked in its read syscall), exactly the
+// per-packet work the receive loop performs.
+func TestRelayMultiFlowForwardAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; the pooled steady state cannot hold")
+	}
+	sink, err := NewReceiver(ReceiverConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	relay, err := NewRelay(RelayConfig{
+		Listen:  "127.0.0.1:0",
+		Forward: sink.Addr(),
+		Shards:  2,
+		MaxAge:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	type flow struct {
+		exp wire.ExperimentID
+		pkt []byte
+		src wire.Addr
+	}
+	flows := make([]flow, 4)
+	for i := range flows {
+		exp := uint32(801 + i)
+		flows[i] = flow{
+			exp: wire.NewExperimentID(exp, 0),
+			pkt: mode0Pkt(t, exp, "payload-for-the-alloc-gate"),
+			src: wire.AddrFrom(10, 0, 0, byte(1+i), 4000),
+		}
+	}
+
+	seq := uint64(0)
+	burst := func() {
+		seq++
+		for si, sh := range relay.shards {
+			sh.mu.Lock()
+			for _, f := range flows {
+				if relay.sb.ShardIndex(f.exp) != si {
+					continue
+				}
+				relay.handleShardLocked(sh, relay.bc, f.pkt, f.src, 0)
+			}
+			relay.flushShardLocked(sh, relay.bc)
+			if seq%16 == 0 {
+				// Cumulative trim releases the stash back to the packet
+				// pool, as a downstream ACK would — without it the stash
+				// grows and GetBuffer must allocate fresh buffers.
+				for _, f := range flows {
+					if relay.sb.ShardIndex(f.exp) == si {
+						sh.eng.Trim(f.exp, seq)
+					}
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
+	for i := 0; i < 64; i++ {
+		burst() // warm: flow registration, ring growth, pool population
+	}
+
+	if avg := testing.AllocsPerRun(100, burst); avg != 0 {
+		t.Fatalf("multi-flow forward allocates %.2f allocs per burst, want 0", avg)
+	}
+}
+
+// TestRelayShardTortureManyFlows hammers a single shard from many
+// concurrent flows while other goroutines scrape every introspection
+// surface — the -race gate for the shard lock discipline. Experiments
+// are picked so they all hash to shard 0 of 4: maximum contention on one
+// lock, with the other shards idle.
+func TestRelayShardTortureManyFlows(t *testing.T) {
+	recv, err := NewReceiver(ReceiverConfig{
+		Listen:   "127.0.0.1:0",
+		NAKDelay: 50 * time.Millisecond,
+		MaxNAKs:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	relay, err := NewRelay(RelayConfig{
+		Listen:  "127.0.0.1:0",
+		Forward: recv.Addr(),
+		Shards:  4,
+		MaxAge:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	// Collect experiment numbers that all land on shard 0.
+	var exps []uint32
+	for e := uint32(900); len(exps) < 6; e++ {
+		if relay.sb.ShardIndex(wire.NewExperimentID(e, 0)) == 0 {
+			exps = append(exps, e)
+		}
+	}
+
+	const perFlow = 500
+	var wg sync.WaitGroup
+	sendErrs := make([]error, len(exps))
+	for i, exp := range exps {
+		snd, err := NewSenderWithConfig(SenderConfig{
+			Dst:        relay.Addr(),
+			Experiment: exp,
+			BatchSize:  16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer snd.Close()
+		wg.Add(1)
+		go func(i int, snd *Sender) {
+			defer wg.Done()
+			for k := 0; k < perFlow; k++ {
+				if err := snd.Send([]byte("torture"), 0); err != nil {
+					sendErrs[i] = err
+					return
+				}
+			}
+			sendErrs[i] = snd.Close()
+		}(i, snd)
+	}
+
+	// Concurrent scrapers: the introspection surfaces must be safe to
+	// read while the shard is hot.
+	stop := make(chan struct{})
+	var scrape sync.WaitGroup
+	scrape.Add(1)
+	go func() {
+		defer scrape.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = relay.Flows()
+			_ = relay.FlowStats()
+			_ = relay.Stats()
+			_ = relay.BufferedBytes()
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	scrape.Wait()
+	for i, err := range sendErrs {
+		if err != nil {
+			t.Fatalf("flow %d send: %v", i, err)
+		}
+	}
+
+	waitFor(t, 10*time.Second, func() bool {
+		return relay.FlowStats().Active == uint64(len(exps))
+	}, "all torture flows registered")
+	for _, f := range relay.Flows() {
+		if f.Shard != 0 {
+			t.Fatalf("flow %v landed on shard %d, want 0", f.Experiment, f.Shard)
+		}
+	}
+	if up := relay.Stats().Upgraded; up == 0 {
+		t.Fatal("shard 0 serviced nothing")
+	}
+}

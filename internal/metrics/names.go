@@ -35,6 +35,9 @@ const (
 	MetricBufNAKMisses      = "dmtp.buf.nak_misses"
 	MetricBufCrashes        = "dmtp.buf.crashes"
 	MetricBufOccupancyBytes = "dmtp.buf.occupancy_bytes"
+	// MetricBufShardOccupancyPrefix is a gauge family: one occupancy
+	// gauge per buffer shard, e.g. "dmtp.buf.occupancy_bytes.shard0".
+	MetricBufShardOccupancyPrefix = "dmtp.buf.occupancy_bytes.shard"
 
 	// Sender (instrument source) metrics.
 	MetricTxSent           = "dmtp.tx.sent"
@@ -54,6 +57,12 @@ const (
 	// MetricRelayReshapePrefix is a counter family: one counter per
 	// observed post-reshape config ID, e.g. "dmtp.relay.reshapes.config1".
 	MetricRelayReshapePrefix = "dmtp.relay.reshapes.config"
+
+	// Flow-table (many-flow relay demultiplexing) metrics.
+	MetricRelayFlowsActive   = "dmtp.relay.flows.active"
+	MetricRelayFlowsOpened   = "dmtp.relay.flows.opened"
+	MetricRelayFlowsExpired  = "dmtp.relay.flows.expired"
+	MetricRelayFlowsRejected = "dmtp.relay.flows.rejected"
 
 	// In-band tracing metrics (internal/tracespan, registered through
 	// dmtp.RegisterTraceMetrics on both substrates).
@@ -138,6 +147,7 @@ var Catalog = []Info{
 	{MetricBufNAKMisses, KindGauge, "seqs", "NAKed sequence numbers no longer buffered (evicted, trimmed, or lost to a crash)"},
 	{MetricBufCrashes, KindGauge, "events", "buffer crash events (chaos testing / process death)"},
 	{MetricBufOccupancyBytes, KindGauge, "bytes", "current retransmission-buffer occupancy"},
+	{MetricBufShardOccupancyPrefix + "*", KindGauge, "bytes", "current retransmission-buffer occupancy, one gauge per shard"},
 	{MetricTxSent, KindGauge, "packets", "data packets emitted by the sender"},
 	{MetricTxSentBytes, KindGauge, "bytes", "wire bytes emitted by the sender (simulator substrate)"},
 	{MetricTxSendErrors, KindGauge, "errors", "socket writes that failed (live substrate)"},
@@ -151,6 +161,10 @@ var Catalog = []Info{
 	{MetricRelayRepointed, KindGauge, "packets", "transit packets re-homed to this buffer (StashTransit, simulator substrate)"},
 	{MetricRelayDroppedDown, KindGauge, "packets", "frames discarded while the buffer was crashed (simulator substrate)"},
 	{MetricRelayReshapePrefix + "*", KindCounter, "packets", "reshapes performed, one counter per resulting config ID"},
+	{MetricRelayFlowsActive, KindGauge, "flows", "flows currently registered in the relay's flow table"},
+	{MetricRelayFlowsOpened, KindGauge, "flows", "flows ever registered (first packet seen)"},
+	{MetricRelayFlowsExpired, KindGauge, "flows", "flows dropped after exceeding the idle TTL"},
+	{MetricRelayFlowsRejected, KindGauge, "flows", "flow registrations refused (table full, or no route)"},
 	{MetricTraceSampled, KindGauge, "messages", "sampled traced messages delivered to the span collector"},
 	{MetricTraceDropped, KindGauge, "records", "trace records discarded by the collector's bounded ring"},
 	{MetricTraceRecoveryNs, KindHist, "ns", "gap-detection → delivery latency of NAK-recovered sampled messages"},
