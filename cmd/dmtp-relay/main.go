@@ -32,6 +32,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the flight-recorder timeline as Perfetto trace JSON on exit")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "buffer shards experiments are partitioned across")
 	maxFlows := flag.Int("max-flows", 0, "flow-table bound; registrations beyond it are rejected (0 = unlimited)")
+	journalDir := flag.String("journal-dir", "", "stash write-ahead journal directory; on restart the stash is replayed from it (off when empty)")
+	journalSync := flag.String("journal-sync", "batch", "journal fsync policy: batch, none, or always")
 	flag.Parse()
 
 	var rec *metrics.FlightRecorder
@@ -48,6 +50,8 @@ func main() {
 		TraceSample:    *traceSample,
 		Shards:         *shards,
 		MaxFlows:       *maxFlows,
+		JournalDir:     *journalDir,
+		JournalSync:    *journalSync,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
@@ -56,6 +60,14 @@ func main() {
 	defer relay.Close()
 	fmt.Printf("dmtp-relay: %s → %s (buffer at %v, %d shards)\n",
 		relay.Addr(), *forward, relay.WireAddr(), *shards)
+	if *journalDir != "" {
+		replayed := 0
+		for _, rec := range relay.JournalRecoveries() {
+			replayed += len(rec.Entries)
+		}
+		fmt.Printf("dmtp-relay: journal at %s (sync=%s), recovered %d stash entries\n",
+			*journalDir, *journalSync, replayed)
+	}
 
 	if *debugAddr != "" {
 		reg := metrics.NewRegistry()

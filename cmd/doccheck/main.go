@@ -9,6 +9,17 @@
 // one "file:line: symbol" diagnostic per missing comment; exported fields
 // and interface methods inside documented types are exempt (their type's
 // comment is the contract), as are test files.
+//
+// A second mode audits documentation snippets against the daemons'
+// actual flag sets:
+//
+//	go run ./cmd/doccheck -snippets README.md EXPERIMENTS.md
+//
+// It extracts every cmd/* invocation from the docs' fenced code blocks
+// and fails if a snippet passes a flag the command does not define —
+// the drift that creeps in when a PR adds flags but only updates some
+// walkthroughs. With no files after -snippets it checks the default doc
+// set (README.md, EXPERIMENTS.md, OBSERVABILITY.md, PROTOCOL.md).
 package main
 
 import (
@@ -30,10 +41,27 @@ var defaultPackages = []string{
 	"./internal/debugsrv",
 	"./internal/tracespan",
 	"./internal/campaign",
+	"./internal/journal",
 }
 
 func main() {
 	pkgs := os.Args[1:]
+	if len(pkgs) > 0 && pkgs[0] == "-snippets" {
+		docs := pkgs[1:]
+		if len(docs) == 0 {
+			docs = defaultDocs
+		}
+		bad, err := checkSnippets(".", docs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "doccheck: %d doc snippets use flags the commands do not define\n", bad)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(pkgs) == 0 {
 		pkgs = defaultPackages
 	}

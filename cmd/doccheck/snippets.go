@@ -1,0 +1,216 @@
+package main
+
+// The -snippets mode: extract command invocations from the docs' fenced
+// code blocks and verify every -flag they pass against the flags the
+// command actually registers (parsed from its source, so the check
+// needs no built binaries). Catches the classic drift where a PR adds
+// daemon flags and updates one walkthrough but not the others.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// defaultDocs is the snippet-audit surface CI enforces.
+var defaultDocs = []string{"README.md", "EXPERIMENTS.md", "OBSERVABILITY.md", "PROTOCOL.md"}
+
+// flagRegistrars maps the flag-package functions that register a flag to
+// the argument index holding its name ("name" for flag.String(name, ...),
+// one later for the *Var forms whose first argument is the pointer).
+var flagRegistrars = map[string]int{
+	"Bool": 0, "Duration": 0, "Float64": 0, "Int": 0, "Int64": 0,
+	"String": 0, "Uint": 0, "Uint64": 0,
+	"BoolVar": 1, "DurationVar": 1, "Float64Var": 1, "IntVar": 1,
+	"Int64Var": 1, "StringVar": 1, "UintVar": 1, "Uint64Var": 1,
+}
+
+// commandFlags parses every non-test .go file under cmdDir and collects
+// the flag names the command registers via the flag package.
+func commandFlags(cmdDir string) (map[string]bool, error) {
+	entries, err := os.ReadDir(cmdDir)
+	if err != nil {
+		return nil, err
+	}
+	flags := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(cmdDir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "flag" {
+				return true
+			}
+			argIdx, ok := flagRegistrars[sel.Sel.Name]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			if lit, ok := call.Args[argIdx].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				flags[strings.Trim(lit.Value, `"`)] = true
+			}
+			return true
+		})
+	}
+	return flags, nil
+}
+
+// loadCommands builds the flag table for every command under root/cmd.
+func loadCommands(root string) (map[string]map[string]bool, error) {
+	entries, err := os.ReadDir(filepath.Join(root, "cmd"))
+	if err != nil {
+		return nil, err
+	}
+	cmds := make(map[string]map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		flags, err := commandFlags(filepath.Join(root, "cmd", e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		cmds[e.Name()] = flags
+	}
+	return cmds, nil
+}
+
+// snippetCommands extracts shell command lines from a markdown document's
+// fenced code blocks, joining backslash continuations so multi-line
+// invocations audit as one command.
+func snippetCommands(doc string) []struct {
+	line int
+	cmd  string
+} {
+	var out []struct {
+		line int
+		cmd  string
+	}
+	lines := strings.Split(doc, "\n")
+	inFence := false
+	for i := 0; i < len(lines); i++ {
+		trimmed := strings.TrimSpace(lines[i])
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence || trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		start := i
+		cmd := trimmed
+		for strings.HasSuffix(cmd, "\\") && i+1 < len(lines) {
+			i++
+			cmd = strings.TrimSuffix(cmd, "\\") + " " + strings.TrimSpace(lines[i])
+		}
+		out = append(out, struct {
+			line int
+			cmd  string
+		}{start + 1, cmd})
+	}
+	return out
+}
+
+// auditCommand checks one extracted command line against the flag table
+// and returns a diagnostic per unknown flag. Lines that do not invoke a
+// known cmd/* binary are ignored.
+func auditCommand(cmds map[string]map[string]bool, cmd string) []string {
+	tokens := strings.Fields(cmd)
+	var bad []string
+	for i := 0; i < len(tokens); i++ {
+		name := commandName(tokens[i])
+		flags, ok := cmds[name]
+		if !ok {
+			continue
+		}
+		// Audit this invocation's flags up to a shell operator (a pipe or
+		// redirect ends the argument list), then keep scanning — one line
+		// can chain several invocations.
+		for i++; i < len(tokens); i++ {
+			t := tokens[i]
+			if t == "|" || t == "||" || t == "&&" || t == ";" || strings.HasPrefix(t, ">") || t == "2>" {
+				break
+			}
+			if t == "--" {
+				break
+			}
+			if !strings.HasPrefix(t, "-") || t == "-" || isNumeric(strings.TrimLeft(t, "-")) {
+				continue
+			}
+			f := strings.TrimLeft(t, "-")
+			if eq := strings.IndexByte(f, '='); eq >= 0 {
+				f = f[:eq]
+			}
+			if !flags[f] {
+				bad = append(bad, fmt.Sprintf("%s does not define -%s", name, f))
+			}
+		}
+		i-- // re-examine the operator token as a possible next command
+	}
+	return bad
+}
+
+// commandName maps an invocation token to a cmd/* directory name:
+// "dmtp-relay", "./dmtp-relay", "./cmd/dmtp-relay" and
+// "/usr/local/bin/dmtp-relay" all audit against cmd/dmtp-relay.
+func commandName(tok string) string {
+	tok = strings.TrimPrefix(tok, "./")
+	if base := filepath.Base(tok); base != tok {
+		tok = base
+	}
+	return tok
+}
+
+// isNumeric reports whether s is a plain number — "-1" in a snippet is a
+// value, not a flag.
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if (r < '0' || r > '9') && r != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSnippets audits every doc file's snippets against the commands
+// under root/cmd, printing one diagnostic per stale flag.
+func checkSnippets(root string, docs []string) (int, error) {
+	cmds, err := loadCommands(root)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	for _, doc := range docs {
+		data, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			return bad, err
+		}
+		for _, sc := range snippetCommands(string(data)) {
+			for _, diag := range auditCommand(cmds, sc.cmd) {
+				fmt.Printf("%s:%d: %s\n", doc, sc.line, diag)
+				bad++
+			}
+		}
+	}
+	return bad, nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoDocSnippetsClean is the doc-drift gate: every command
+// invocation in the default doc set must use only flags the command
+// actually defines.
+func TestRepoDocSnippetsClean(t *testing.T) {
+	bad, err := checkSnippets("../..", defaultDocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("%d doc snippets use flags the commands do not define", bad)
+	}
+}
+
+// TestRepoDocSnippetsSeen guards the gate itself: the default docs must
+// contain a healthy number of auditable invocations, or a change to the
+// fence/continuation parser could silently turn the clean check vacuous.
+func TestRepoDocSnippetsSeen(t *testing.T) {
+	cmds, err := loadCommands("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	invocations := 0
+	for _, doc := range defaultDocs {
+		data, err := os.ReadFile(filepath.Join("../..", doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range snippetCommands(string(data)) {
+			for _, tok := range strings.Fields(sc.cmd) {
+				if _, ok := cmds[commandName(tok)]; ok {
+					invocations++
+					break
+				}
+			}
+		}
+	}
+	if invocations < 10 {
+		t.Fatalf("only %d command invocations found across %v — extraction looks broken", invocations, defaultDocs)
+	}
+}
+
+// TestSnippetAuditCatchesBogusFlag proves the audit can fail: a synthetic
+// repo whose doc passes a flag the command does not define must be
+// reported, and the same doc with only real flags must pass.
+func TestSnippetAuditCatchesBogusFlag(t *testing.T) {
+	root := t.TempDir()
+	cmdDir := filepath.Join(root, "cmd", "frob")
+	if err := os.MkdirAll(cmdDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package main
+
+import "flag"
+
+func main() {
+	_ = flag.String("listen", "", "")
+	_ = flag.Int("n", 0, "")
+	var d string
+	flag.StringVar(&d, "journal-dir", "", "")
+	flag.Parse()
+}
+`
+	if err := os.WriteFile(filepath.Join(cmdDir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	good := "Intro.\n\n```sh\ngo run ./cmd/frob -listen 127.0.0.1:1 \\\n  -n 5 -journal-dir /tmp/j\n```\n"
+	if err := os.WriteFile(filepath.Join(root, "GOOD.md"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := "Intro.\n\n```sh\n./frob -listen 127.0.0.1:1 -journal-dirr /tmp/j | head -1\nfrob -n=7 --listen :9\n```\n\nProse mentioning frob -bogus outside a fence is ignored.\n"
+	if err := os.WriteFile(filepath.Join(root, "BAD.md"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := checkSnippets(root, []string{"GOOD.md"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("clean doc reported %d bad snippets", n)
+	}
+	n, err = checkSnippets(root, []string{"BAD.md"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("doc with one bogus flag reported %d, want 1 (-journal-dirr only; -n=7 and --listen are valid forms)", n)
+	}
+}

@@ -29,10 +29,12 @@ import (
 var (
 	// Topologies: single relay (sensor→DTN→receiver), chained relays
 	// (sensor→DTN1→DTN2→receiver with transit stashing at DTN2), the
-	// pilot's P4-switch path (sensor→DTN→Tofino2→receiver), and the
+	// pilot's P4-switch path (sensor→DTN→Tofino2→receiver), the
 	// many-flow fan-in (the workload's senders plus three extra steady
-	// flows, all through one sharded relay).
-	Topologies = []string{"single", "chain", "p4sim", "fanin"}
+	// flows, all through one sharded relay), and the durable relay
+	// (single shape, stash write-ahead journal enabled: crash cells must
+	// replay the stash on restart and lose nothing).
+	Topologies = []string{"single", "chain", "p4sim", "fanin", "durable"}
 	// Faults: the fault-plan library of cell.go, from no-fault control to
 	// the combined chaos plan.
 	Faults = []string{"clean", "gilbert", "reorder", "dup", "corrupt", "flap", "crash", "chaos"}
@@ -194,6 +196,11 @@ type CellResult struct {
 	Evicted     uint64 `json:"evicted"`
 	Trimmed     uint64 `json:"trimmed"`
 	Crashes     uint64 `json:"crashes"`
+	// Replayed is stash entries rebuilt from the write-ahead journal on
+	// restart — nonzero only on the durable topology's crash cells. It is
+	// a pure function of the virtual timeline (which appends, tombstones
+	// and trims preceded the crash), so it keeps the matrix deterministic.
+	Replayed uint64 `json:"replayed"`
 
 	// TailLoss is sequences assigned upstream but never observed (neither
 	// delivered nor written off) at the receiver: tail drops nothing

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/core"
@@ -159,6 +160,7 @@ type cellEnv struct {
 	senders  []*core.Sender
 	recvRec  *metrics.FlightRecorder
 	reg      *metrics.Registry
+	topology string
 	fault    string
 	workload string
 }
@@ -227,7 +229,7 @@ func runCell(cell Cell, spec Spec) CellResult {
 
 	env := &cellEnv{
 		nw: nw, recv: recv, recvRec: recvRec,
-		fault: cell.Fault, workload: cell.Workload,
+		topology: cell.Topology, fault: cell.Fault, workload: cell.Workload,
 	}
 
 	bufCfg := func(rec *metrics.FlightRecorder) core.BufferConfig {
@@ -250,6 +252,7 @@ func runCell(cell Cell, spec Spec) CellResult {
 	var crashTarget *core.BufferNode
 	var senderDst wire.Addr
 	var senderHub *netsim.Node
+	var journalDir string
 	switch cell.Topology {
 	case "single":
 		rec := metrics.NewFlightRecorder(1 << 15)
@@ -299,6 +302,27 @@ func runCell(cell Cell, spec Spec) CellResult {
 		rec := metrics.NewFlightRecorder(1 << 15)
 		cfg := bufCfg(rec)
 		cfg.Shards = 4
+		dtn := core.NewBufferNode(nw, "dtn", cellDTNAddr, cfg)
+		nw.ConnectAsym(dtn.Node(), recv.Node(), faultedLink, cellLink())
+		env.buffers = []*core.BufferNode{dtn}
+		env.bufRecs = []*metrics.FlightRecorder{rec}
+		env.upgrader, crashTarget = dtn, dtn
+		senderDst, senderHub = cellDTNAddr, dtn.Node()
+	case "durable":
+		// The single-relay shape with the stash write-ahead journal under
+		// a two-shard buffer: crash cells replay the journal on restart,
+		// and the journal oracle holds every cell to the replay balance.
+		// Each cell journals into its own temp directory, removed once the
+		// oracles have inspected the recovery.
+		dir, err := os.MkdirTemp("", "campaign-journal-")
+		if err != nil {
+			panic(fmt.Sprintf("campaign: journal tempdir: %v", err))
+		}
+		journalDir = dir
+		rec := metrics.NewFlightRecorder(1 << 15)
+		cfg := bufCfg(rec)
+		cfg.Shards = 2
+		cfg.JournalDir = dir
 		dtn := core.NewBufferNode(nw, "dtn", cellDTNAddr, cfg)
 		nw.ConnectAsym(dtn.Node(), recv.Node(), faultedLink, cellLink())
 		env.buffers = []*core.BufferNode{dtn}
@@ -366,6 +390,7 @@ func runCell(cell Cell, spec Spec) CellResult {
 		res.Evicted += bs.Evicted
 		res.Trimmed += bs.Trimmed
 		res.Crashes += bs.Crashes
+		res.Replayed += env.buffers[i].JournalStats().Replayed
 	}
 	res.TailLoss = int64(res.Upgraded) - led.sequencedObserved()
 	res.ElapsedVirtualNs = int64(nw.Now())
@@ -382,6 +407,12 @@ func runCell(cell Cell, spec Spec) CellResult {
 		res.Outcome = "ok"
 	} else {
 		res.Outcome = "violation"
+	}
+	if journalDir != "" {
+		for _, b := range env.buffers {
+			b.CloseJournal()
+		}
+		os.RemoveAll(journalDir)
 	}
 	return res
 }

@@ -291,6 +291,45 @@ func checkOracles(env *cellEnv, led *ledger, res *CellResult) []string {
 		}
 	}
 
+	// Oracle: journal-replay balance. Every journal recovery — the
+	// startup scan and any crash replay — must account exactly: append
+	// records scanned minus removals applied (tombstones, trim sweeps,
+	// same-key overwrites) equals entries replayed. A replay that
+	// silently drops records (journal.ReplayDropBias simulates one in the
+	// campaign self-test) breaks the balance here.
+	for i, b := range env.buffers {
+		for sh, rec := range b.JournalRecoveries() {
+			if rec.Appended-rec.Tombstoned != rec.Replayed {
+				out = append(out, fmt.Sprintf(
+					"oracle/journal: buffer %d shard %d replay imbalance: appended %d − tombstoned %d ≠ replayed %d",
+					i, sh, rec.Appended, rec.Tombstoned, rec.Replayed))
+			}
+			if rec.TruncatedTail {
+				out = append(out, fmt.Sprintf(
+					"oracle/journal: buffer %d shard %d recovered a torn tail inside a cell (in-process crashes flush complete records)", i, sh))
+			}
+		}
+	}
+
+	// Oracle: durable crash cells lose nothing. The whole point of the
+	// write-ahead journal: on the durable topology a crash fault must
+	// replay the stash and write off zero messages — where every other
+	// topology's crash cell legitimately pays the cold-buffer write-off.
+	if env.topology == "durable" && env.fault == "crash" {
+		if res.Lost != 0 {
+			out = append(out, fmt.Sprintf("oracle/journal: durable crash cell wrote off %d messages, want 0", res.Lost))
+		}
+		if res.TailLoss != 0 {
+			out = append(out, fmt.Sprintf("oracle/journal: durable crash cell shows tail loss %d, want 0", res.TailLoss))
+		}
+		if res.Replayed == 0 {
+			out = append(out, "oracle/journal: durable crash cell replayed nothing — the restart never touched the journal")
+		}
+		if res.Crashes == 0 {
+			out = append(out, "oracle/journal: durable crash cell never crashed — the scenario is vacuous")
+		}
+	}
+
 	// Oracle: clean-cell strictness. With no fault injected, every loss
 	// counter must be exactly zero.
 	if env.fault == "clean" {

@@ -4,17 +4,20 @@ import (
 	"fmt"
 
 	"repro/internal/dmtp"
+	"repro/internal/journal"
 )
 
-// SelfTest proves the oracle library can actually fail: it runs two
-// healthy cells (expecting a clean bill) and then re-runs a loss cell
-// against a deliberately broken engine — the gap-detection floor biased
-// by one via dmtp.GapFloorBias, which silently stops tracking a
-// single-packet gap right above the floor — expecting the delivery
-// ledger to report the hole. A harness whose oracles cannot fire is not
-// evidence (the same argument the conformance suite's self-test makes).
+// SelfTest proves the oracle library can actually fail: it runs healthy
+// cells (expecting a clean bill) and then re-runs them against
+// deliberately broken machinery — the gap-detection floor biased by one
+// via dmtp.GapFloorBias (a silently untracked single-packet gap the
+// delivery ledger must report), and a journal replay that drops every
+// third appended record via journal.ReplayDropBias (a broken recovery
+// the replay-balance and durable-zero-loss oracles must report). A
+// harness whose oracles cannot fire is not evidence (the same argument
+// the conformance suite's self-test makes).
 //
-// The bias is process-global, so SelfTest runs its cells sequentially
+// The biases are process-global, so SelfTest runs its cells sequentially
 // and must not run concurrently with another campaign.
 func SelfTest() error {
 	spec := Spec{Seed: 1, Workers: 1}
@@ -37,10 +40,30 @@ func SelfTest() error {
 	}
 
 	dmtp.GapFloorBias = 1
-	defer func() { dmtp.GapFloorBias = 0 }()
 	broken := runCell(healthy[1], spec)
+	dmtp.GapFloorBias = 0
 	if broken.Outcome == "ok" {
 		return fmt.Errorf("campaign selftest: oracles passed a biased gap floor — the harness cannot detect broken engines")
+	}
+
+	// The journal oracle must be able to fire too: a healthy durable
+	// crash cell first (replay happens and loses nothing), then the same
+	// cell with the replay deliberately dropping every third appended
+	// record — the replay balance breaks AND the replayed stash misses
+	// entries, so zero-loss fails. Either finding proves the oracle bites.
+	durable := Cell{Seed: 1, Topology: "durable", Fault: "crash", Workload: "steady"}
+	dr := runCell(durable, spec)
+	if dr.Outcome != "ok" {
+		return fmt.Errorf("campaign selftest: healthy durable crash cell reported %v", dr.Violations)
+	}
+	if dr.Replayed == 0 {
+		return fmt.Errorf("campaign selftest: durable crash cell never exercised journal replay: %+v", dr)
+	}
+	journal.ReplayDropBias = 3
+	brokenReplay := runCell(durable, spec)
+	journal.ReplayDropBias = 0
+	if brokenReplay.Outcome == "ok" {
+		return fmt.Errorf("campaign selftest: oracles passed a record-dropping journal replay — the harness cannot detect broken recovery")
 	}
 	return nil
 }

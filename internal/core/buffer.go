@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/dmtp"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -72,6 +73,17 @@ type BufferConfig struct {
 	// plus the buffer engine's nak-served / nak-miss / evict / trim /
 	// crash / restart) stamped with virtual time. Nil disables recording.
 	Recorder *metrics.FlightRecorder
+	// JournalDir, when non-empty, enables the stash write-ahead journal
+	// (internal/journal): every stash mutation is logged, Crash flushes
+	// the log, and Restart replays it so post-crash NAKs meet a warm
+	// buffer instead of the cold-start write-off path. The directory is
+	// created if missing; an unusable directory panics — on the simulator
+	// substrate a bad journal path is a harness configuration error, and
+	// NewBufferNode has no error return to thread it through.
+	JournalDir string
+	// JournalSync is the journal fsync policy (journal.SyncBatch when
+	// empty, or SyncNone / SyncAlways).
+	JournalSync string
 }
 
 // BufferStats are cumulative buffer-node counters: the engine's stash,
@@ -95,6 +107,9 @@ type BufferNode struct {
 	node *netsim.Node
 	nw   *netsim.Network
 	eng  *dmtp.ShardedBuffer
+	// jset is the per-shard write-ahead journal set (nil without
+	// JournalDir).
+	jset *journal.Set
 	// reshapeC counts reshapes into the node's upgrade config; installed
 	// by RegisterMetrics, nil (and skipped) until then.
 	reshapeC *metrics.Counter
@@ -147,11 +162,22 @@ func NewBufferHandler(nw *netsim.Network, cfg BufferConfig) *BufferNode {
 			perShard = 1
 		}
 	}
+	if cfg.JournalDir != "" {
+		set, err := journal.OpenSet(cfg.JournalDir, nsh, cfg.JournalSync, 0)
+		if err != nil {
+			panic(fmt.Sprintf("core: opening stash journal: %v", err))
+		}
+		b.jset = set
+	}
 	// Retransmissions leave via the WAN egress; the datapath clones
 	// stash entries before framing them (the engine keeps ownership).
 	// Every shard shares one stats struct — sound under the simulator's
 	// single event-loop goroutine — so callers keep reading b.Stats.
-	b.eng = dmtp.NewShardedBuffer(nsh, func(int) *dmtp.BufferEngine {
+	b.eng = dmtp.NewShardedBuffer(nsh, func(i int) *dmtp.BufferEngine {
+		var jr dmtp.Journal
+		if b.jset != nil {
+			jr = b.jset.Shard(i)
+		}
 		return dmtp.NewBufferEngine(
 			nodeDatapath{node: func() *netsim.Node { return b.node }, nw: nw, port: cfg.ForwardPort},
 			dmtp.BufferConfig{
@@ -159,10 +185,60 @@ func NewBufferHandler(nw *netsim.Network, cfg BufferConfig) *BufferNode {
 				Stats:         &b.Stats.BufferStats,
 				Recorder:      cfg.Recorder,
 				Clock:         loopClock{nw},
+				Journal:       jr,
 			},
 		)
 	})
+	if b.jset != nil {
+		// A journal that survived a previous process restores its stash
+		// before the node serves traffic.
+		for i := 0; i < nsh; i++ {
+			b.restoreShard(i, b.jset.Recovered(i))
+		}
+	}
 	return b
+}
+
+// restoreShard replays one shard's recovery into its engine: surviving
+// entries re-stashed (without re-journaling) and sequence counters
+// raised to the journal's floor.
+func (b *BufferNode) restoreShard(i int, rec *journal.Recovered) {
+	eng := b.eng.At(i)
+	for _, e := range rec.Entries {
+		eng.RestoreStash(e.Exp, e.Seq, e.Payload)
+	}
+	for exp, seq := range rec.Seqs {
+		eng.RestoreSeq(exp, seq)
+	}
+}
+
+// JournalStats returns the journal counters (zero without a journal).
+func (b *BufferNode) JournalStats() journal.Stats {
+	if b.jset == nil {
+		return journal.Stats{}
+	}
+	return b.jset.Stats()
+}
+
+// JournalRecoveries returns the most recent per-shard journal recovery
+// (the startup scan, or the last crash replay); nil without a journal.
+// The campaign's journal-balance oracle inspects these.
+func (b *BufferNode) JournalRecoveries() []*journal.Recovered {
+	if b.jset == nil {
+		return nil
+	}
+	return b.jset.Recoveries()
+}
+
+// CloseJournal stops the journal writers and closes the segment files.
+// The node itself has no other lifecycle on the simulator substrate;
+// journaled harnesses (campaign durable cells, tests) must call this
+// when the run drains, or the writer goroutines outlive the cell.
+func (b *BufferNode) CloseJournal() error {
+	if b.jset == nil {
+		return nil
+	}
+	return b.jset.Close()
 }
 
 // Node returns the buffer's network node.
@@ -251,6 +327,9 @@ func (b *BufferNode) RegisterMetrics(reg *metrics.Registry) {
 		dmtp.RegisterShardOccupancy(reg, i, b.eng.At(i).BufferedBytes)
 	}
 	b.reshapeC = reg.Counter(fmt.Sprintf("%s%d", metrics.MetricRelayReshapePrefix, b.cfg.Upgrade.ConfigID))
+	if b.jset != nil {
+		b.jset.RegisterMetrics(reg)
+	}
 	dmtp.RegisterPoolMetrics(reg)
 }
 
@@ -259,20 +338,39 @@ func (b *BufferNode) Attach(n *netsim.Node) { b.node = n }
 
 // Crash models the DTN process dying: from now until Restart every
 // arriving frame — data, NAKs, ACKs, transit — is discarded, and the
-// retransmission buffer is lost. Sequence counters survive (the journalled
-// state a production relay recovers); buffered payloads do not, so
-// post-Restart NAKs for pre-crash packets meet a cold buffer. The flow
-// table dies with the process: flows re-register (and re-resolve their
-// downstream route) on their first post-Restart packet, so no stale
-// forward address survives a crash.
+// retransmission buffer is lost. Without a journal, sequence counters
+// survive in memory but buffered payloads do not, so post-Restart NAKs
+// for pre-crash packets meet a cold buffer. With JournalDir set the
+// write-ahead log is flushed here (the OS had the writes; the process
+// lost its memory) and Restart replays it. The flow table dies with the
+// process either way: flows re-register (and re-resolve their downstream
+// route) on their first post-Restart packet, so no stale forward address
+// survives a crash.
 func (b *BufferNode) Crash() {
+	if b.jset != nil {
+		b.jset.Flush()
+	}
 	b.eng.Crash()
 	clear(b.flows)
 	b.flowStats.Active = 0
 }
 
-// Restart brings a crashed node back into service with a cold buffer.
-func (b *BufferNode) Restart() { b.eng.Restart() }
+// Restart brings a crashed node back into service. Without a journal
+// the buffer is cold; with one, the log is replayed first — stash
+// entries and sequence floors restored shard by shard — so NAK service
+// resumes warm and the crash costs zero messages.
+func (b *BufferNode) Restart() {
+	if b.jset != nil {
+		recs, err := b.jset.Replay()
+		if err != nil {
+			panic(fmt.Sprintf("core: journal replay on restart: %v", err))
+		}
+		for i, rec := range recs {
+			b.restoreShard(i, rec)
+		}
+	}
+	b.eng.Restart()
+}
 
 // IsDown reports whether the node is crashed.
 func (b *BufferNode) IsDown() bool { return b.eng.Down() }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/tracespan"
 	"repro/internal/wire"
@@ -158,6 +159,52 @@ func TestShardedStashZeroAlloc(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(300, step); avg != 0 {
 		t.Fatalf("sharded stash loop allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestJournaledStashZeroAlloc extends the stash gate to the durable
+// path: with a write-ahead journal attached, the per-packet ingest loop
+// — sequence assignment, stash (which journals an append into a pooled
+// frame), periodic trim — still allocates nothing once warm. Each
+// iteration ends with a journal flush barrier: AllocsPerRun runs under
+// GOMAXPROCS(1), so the barrier is what hands the processor to the
+// writer goroutine, which releases the drained frames back to the pool —
+// without it the pool would empty and every frame would be a fresh
+// allocation, measuring scheduling luck instead of the append path.
+func TestJournaledStashZeroAlloc(t *testing.T) {
+	jset, err := journal.OpenSet(t.TempDir(), 4, journal.SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jset.Close()
+	sb := NewShardedBuffer(4, func(i int) *BufferEngine {
+		return NewBufferEngine(nopDatapath{}, BufferConfig{Journal: jset.Shard(i)})
+	})
+	exps := []wire.ExperimentID{
+		wire.NewExperimentID(101, 0),
+		wire.NewExperimentID(202, 0),
+		wire.NewExperimentID(303, 0),
+	}
+	stashes := make([][]byte, len(exps))
+	for i := range stashes {
+		pkt := seqPacket(t, 1, wire.AddrFrom(10, 0, 0, 1, 100), "payload")
+		stashes[i] = append([]byte(nil), pkt...) // engine-owned copies, setup alloc
+	}
+	step := func() {
+		for i, exp := range exps {
+			seq := sb.NextSeq(exp)
+			sb.Stash(exp, seq, stashes[i])
+			if seq%16 == 0 {
+				sb.Trim(exp, seq)
+			}
+		}
+		jset.Flush()
+	}
+	for i := 0; i < 64; i++ {
+		step() // warm: shard maps, order rings, journal frame pool
+	}
+	if avg := testing.AllocsPerRun(300, step); avg != 0 {
+		t.Fatalf("journaled stash loop allocates %.2f allocs/op, want 0", avg)
 	}
 }
 

@@ -25,6 +25,25 @@ type BufferStats struct {
 	Crashes       uint64 // Crash() invocations (chaos testing)
 }
 
+// Journal is the optional write-ahead contract a BufferEngine keeps its
+// stash durable through: an append for every stash insert, a tombstone
+// for every capacity eviction, and a trim mark for every cumulative-ACK
+// release. Crash() deliberately journals nothing — process death loses
+// memory, and the journal is exactly the state that survives it; the
+// adapter replays the journal into RestoreStash/RestoreSeq on restart.
+// internal/journal provides the implementation; the engine only knows
+// this interface, so a nil journal keeps today's behavior byte-for-byte.
+type Journal interface {
+	// Append journals one stash insert. The engine retains ownership of
+	// pkt; implementations must copy what they keep.
+	Append(exp wire.ExperimentID, seq uint64, pkt []byte)
+	// Tombstone journals one capacity eviction of (exp, seq).
+	Tombstone(exp wire.ExperimentID, seq uint64)
+	// TrimTo journals a cumulative-ACK trim: every entry of exp at or
+	// below cum is released.
+	TrimTo(exp wire.ExperimentID, cum uint64)
+}
+
 // BufferConfig configures a BufferEngine.
 type BufferConfig struct {
 	// CapacityBytes bounds the retransmission buffer; oldest packets
@@ -46,6 +65,10 @@ type BufferConfig struct {
 	// simulator adapter passes its virtual clock so event timestamps align
 	// with the trace.
 	Clock Clock
+	// Journal, when non-nil, receives a write-ahead record for every
+	// stash mutation (insert, eviction, trim) so the adapter can rebuild
+	// the stash after a crash. Nil disables journaling entirely.
+	Journal Journal
 }
 
 type bufKey struct {
@@ -68,6 +91,9 @@ type BufferEngine struct {
 	order []bufKey // FIFO for eviction
 	bytes int
 	down  bool // crashed: adapters discard traffic until Restart
+	// restoring suppresses journal appends while RestoreStash re-inserts
+	// journal-recovered entries (they are already on disk).
+	restoring bool
 }
 
 // NewBufferEngine builds an engine over the given datapath.
@@ -118,8 +144,12 @@ func (b *BufferEngine) SeqOf(exp wire.ExperimentID) uint64 { return b.seqs[exp] 
 // Crash models the buffering process dying: the retransmission buffer
 // is lost (entries are released), and the engine marks itself down so
 // the adapter discards traffic until Restart. Sequence counters survive
-// — the journalled state a production relay recovers; buffered payloads
-// do not, so post-Restart NAKs for pre-crash packets meet a cold buffer.
+// in memory; buffered payloads do not, so post-Restart NAKs for
+// pre-crash packets meet a cold buffer — unless the adapter runs a
+// Journal, in which case it replays the log into RestoreStash/
+// RestoreSeq after Restart and resumes NAK service warm. Crash itself
+// journals nothing: the log is precisely the state that outlives the
+// process.
 func (b *BufferEngine) Crash() {
 	if b.down {
 		return
@@ -168,6 +198,9 @@ func (b *BufferEngine) Stash(exp wire.ExperimentID, seq uint64, pkt []byte) {
 			}
 			b.stats.ReleasedBytes += uint64(len(old))
 			b.stats.Evicted++
+			if b.cfg.Journal != nil {
+				b.cfg.Journal.Tombstone(oldest.exp, oldest.seq)
+			}
 			if b.cfg.Recorder != nil {
 				b.cfg.Recorder.RecordAt(b.cfg.Clock.Now(), metrics.EvEvict,
 					uint64(oldest.exp), oldest.seq, uint64(len(old)))
@@ -180,6 +213,29 @@ func (b *BufferEngine) Stash(exp wire.ExperimentID, seq uint64, pkt []byte) {
 	b.bytes += len(pkt)
 	b.stats.Buffered++
 	b.stats.BufferedBytes += uint64(len(pkt))
+	if b.cfg.Journal != nil && !b.restoring {
+		b.cfg.Journal.Append(exp, seq, pkt)
+	}
+}
+
+// RestoreStash re-inserts a journal-recovered entry without journaling a
+// fresh append (the record is already on disk). Capacity evictions
+// triggered by the restore still journal their tombstones, keeping the
+// log consistent with the rebuilt stash. Like Stash, the engine takes
+// ownership of pkt.
+func (b *BufferEngine) RestoreStash(exp wire.ExperimentID, seq uint64, pkt []byte) {
+	b.restoring = true
+	b.Stash(exp, seq, pkt)
+	b.restoring = false
+}
+
+// RestoreSeq raises exp's sequence-assignment counter to at least seq.
+// Restart recovery calls it with the journal's sequence floor so a
+// restarted relay never re-assigns a sequence number it already used.
+func (b *BufferEngine) RestoreSeq(exp wire.ExperimentID, seq uint64) {
+	if b.seqs[exp] < seq {
+		b.seqs[exp] = seq
+	}
 }
 
 // ServeNAK retransmits every requested sequence number still buffered,
@@ -241,6 +297,9 @@ func (b *BufferEngine) Trim(exp wire.ExperimentID, cum uint64) {
 		kept = append(kept, k)
 	}
 	b.order = kept
+	if b.cfg.Journal != nil {
+		b.cfg.Journal.TrimTo(exp, cum)
+	}
 	if released > 0 && b.cfg.Recorder != nil {
 		b.cfg.Recorder.RecordAt(b.cfg.Clock.Now(), metrics.EvTrim, uint64(exp), cum, released)
 	}

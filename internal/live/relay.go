@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/dmtp"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/wire"
 )
@@ -88,6 +89,18 @@ type RelayConfig struct {
 	// — adding FeatTraced is just another config rewrite at the upgrade
 	// boundary. Traces arriving from the sender are preserved regardless.
 	TraceSample int
+	// JournalDir, when non-empty, enables the stash write-ahead journal
+	// (internal/journal): every stash insert, eviction, and trim is
+	// logged to per-shard segment files, and Restart replays the log —
+	// rebuilding the retransmission stash and sequence floors — before
+	// rebinding, so a crashed relay resumes NAK service with zero message
+	// loss. The directory is created if missing. Empty keeps today's
+	// in-memory-only behavior exactly.
+	JournalDir string
+	// JournalSync is the journal fsync policy: journal.SyncBatch when
+	// empty (one group-committed fsync per writer drain), or SyncNone /
+	// SyncAlways.
+	JournalSync string
 }
 
 // RelayStats are cumulative relay counters, summed across shards.
@@ -181,6 +194,11 @@ type Relay struct {
 
 	sb     *dmtp.ShardedBuffer
 	shards []*relayShard
+	// jset is the per-shard write-ahead journal set (nil without
+	// JournalDir). Hot-path appends go through the shard engines'
+	// dmtp.Journal hooks; the relay touches it directly only for
+	// lifecycle (flush on crash, replay on restart, close).
+	jset *journal.Set
 
 	// fwdAddr is the default downstream for flows the Resolver does not
 	// cover; SetForward swaps it. Registered flows keep the destination
@@ -257,8 +275,21 @@ func NewRelay(cfg RelayConfig) (*Relay, error) {
 			perShardCap = 1
 		}
 	}
+	if cfg.JournalDir != "" {
+		set, err := journal.OpenSet(cfg.JournalDir, nsh, cfg.JournalSync, 0)
+		if err != nil {
+			return nil, fmt.Errorf("live: opening stash journal: %w", err)
+		}
+		r.jset = set
+	}
 	r.shards = make([]*relayShard, nsh)
 	r.sb = dmtp.NewShardedBuffer(nsh, func(i int) *dmtp.BufferEngine {
+		// The interface value must stay nil (not a typed nil) when
+		// journaling is off, or the engine would call through it.
+		var jr dmtp.Journal
+		if r.jset != nil {
+			jr = r.jset.Shard(i)
+		}
 		sh := &relayShard{flows: make(map[flowKey]*flowEntry)}
 		sh.eng = dmtp.NewBufferEngine(relayDatapath{r}, dmtp.BufferConfig{
 			CapacityBytes: perShardCap,
@@ -266,10 +297,18 @@ func NewRelay(cfg RelayConfig) (*Relay, error) {
 			Stats:         &sh.engStats,
 			Recorder:      cfg.Recorder,
 			Clock:         cfg.Clock,
+			Journal:       jr,
 		})
 		r.shards[i] = sh
 		return sh.eng
 	})
+	if r.jset != nil {
+		// A journal left by a previous relay process rebuilds the stash
+		// before the socket opens — recovered first, then serving.
+		for i, sh := range r.shards {
+			restoreShardLocked(sh, r.jset.Recovered(i))
+		}
+	}
 
 	laddr, err := net.ResolveUDPAddr("udp4", cfg.Listen)
 	if err != nil {
@@ -278,9 +317,47 @@ func NewRelay(cfg RelayConfig) (*Relay, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.bind(laddr); err != nil {
+		if r.jset != nil {
+			r.jset.Close()
+		}
 		return nil, err
 	}
 	return r, nil
+}
+
+// restoreShardLocked replays one shard's journal recovery into its
+// engine: surviving entries are copied into pooled buffers (the stash
+// owns its entries and releases them through the shared pool) and
+// re-stashed without re-journaling, then sequence counters are raised to
+// the journal's floors so post-restart upgrades never reuse a sequence
+// number. Callers either hold sh.mu or run before the receive loop
+// exists.
+func restoreShardLocked(sh *relayShard, rec *journal.Recovered) {
+	for _, e := range rec.Entries {
+		pkt := wire.GetBuffer(len(e.Payload))
+		copy(pkt, e.Payload)
+		sh.eng.RestoreStash(e.Exp, e.Seq, pkt)
+	}
+	for exp, seq := range rec.Seqs {
+		sh.eng.RestoreSeq(exp, seq)
+	}
+}
+
+// JournalStats returns the journal counters (zero without a journal).
+func (r *Relay) JournalStats() journal.Stats {
+	if r.jset == nil {
+		return journal.Stats{}
+	}
+	return r.jset.Stats()
+}
+
+// JournalRecoveries returns the most recent per-shard journal recovery —
+// the startup scan, or the last crash replay. Nil without a journal.
+func (r *Relay) JournalRecoveries() []*journal.Recovered {
+	if r.jset == nil {
+		return nil
+	}
+	return r.jset.Recoveries()
 }
 
 // bind opens the socket at laddr and starts the receive loop. Callers are
@@ -478,6 +555,9 @@ func (r *Relay) RegisterMetrics(reg *metrics.Registry) {
 	r.reshapeC.Store(reg.Counter(metrics.MetricRelayReshapePrefix + "1"))
 	r.bstats.install(reg)
 	r.txErr.Store(reg.Counter(metrics.MetricLiveTxErrors))
+	if r.jset != nil {
+		r.jset.RegisterMetrics(reg)
+	}
 	dmtp.RegisterPoolMetrics(reg)
 }
 
@@ -504,11 +584,13 @@ func (d relayDatapath) SendData(dst wire.Addr, pkt []byte) {
 // Crash models the relay process dying: the socket closes abruptly, the
 // retransmission buffers of every shard are lost, and the flow table is
 // cleared (a real restart re-learns its sessions — and re-resolves their
-// destinations, so no stale forward address survives). Sequence counters
-// survive (the journalled state a production relay would recover);
-// buffered payloads do not — after Restart the buffers are cold, which
-// is exactly the condition NAK-based recovery must degrade gracefully
-// under.
+// destinations, so no stale forward address survives). Without a
+// journal, buffered payloads die with the process and post-Restart NAKs
+// meet a cold buffer — the condition NAK-based recovery must degrade
+// gracefully under. With JournalDir set, the write-ahead log is flushed
+// once the receive loop has drained (the log survives the process; its
+// in-memory tail does not survive losing the writer) and Restart
+// replays it.
 func (r *Relay) Crash() {
 	r.mu.Lock()
 	if r.closed {
@@ -537,11 +619,19 @@ func (r *Relay) Crash() {
 	}
 	conn.Close()
 	r.wg.Wait()
+	if r.jset != nil {
+		// The loop has exited, so every append the engines enqueued is in
+		// the writer's channel; the flush barrier pushes them to disk.
+		r.jset.Flush()
+	}
 }
 
-// Restart rebinds the crashed relay on its original address with cold
-// buffers and an empty flow table, and resumes forwarding. It is an
-// error to Restart a relay that has not crashed or is closed.
+// Restart rebinds the crashed relay on its original address with an
+// empty flow table and resumes forwarding. Without a journal the
+// buffers come back cold; with one, the log is replayed first — stash
+// entries and sequence floors rebuilt shard by shard before the socket
+// reopens — so NAK service resumes warm. It is an error to Restart a
+// relay that has not crashed or is closed.
 func (r *Relay) Restart() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -550,6 +640,17 @@ func (r *Relay) Restart() error {
 	}
 	if !r.Down() {
 		return fmt.Errorf("live: relay not crashed")
+	}
+	if r.jset != nil {
+		recs, err := r.jset.Replay()
+		if err != nil {
+			return fmt.Errorf("live: journal replay on restart: %w", err)
+		}
+		for i, sh := range r.shards {
+			sh.mu.Lock()
+			restoreShardLocked(sh, recs[i])
+			sh.mu.Unlock()
+		}
 	}
 	if err := r.bind(r.bound); err != nil {
 		return err
@@ -586,6 +687,11 @@ func (r *Relay) Close() error {
 		err = conn.Close()
 	}
 	r.wg.Wait()
+	if r.jset != nil {
+		if jerr := r.jset.Close(); err == nil {
+			err = jerr
+		}
+	}
 	return err
 }
 

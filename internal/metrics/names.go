@@ -39,6 +39,18 @@ const (
 	// gauge per buffer shard, e.g. "dmtp.buf.occupancy_bytes.shard0".
 	MetricBufShardOccupancyPrefix = "dmtp.buf.occupancy_bytes.shard"
 
+	// Stash write-ahead journal metrics (internal/journal, registered by
+	// both substrates through journal.Set.RegisterMetrics when a relay
+	// runs with a journal directory).
+	MetricJournalAppends          = "dmtp.journal.appends"
+	MetricJournalAppendBytes      = "dmtp.journal.append_bytes"
+	MetricJournalTombstones       = "dmtp.journal.tombstones"
+	MetricJournalFsyncs           = "dmtp.journal.fsyncs"
+	MetricJournalFsyncNs          = "dmtp.journal.fsync_ns"
+	MetricJournalSegmentsRecycled = "dmtp.journal.segments_recycled"
+	MetricJournalReplayed         = "dmtp.journal.replayed"
+	MetricJournalTruncatedTails   = "dmtp.journal.truncated_tails"
+
 	// Sender (instrument source) metrics.
 	MetricTxSent           = "dmtp.tx.sent"
 	MetricTxSentBytes      = "dmtp.tx.sent_bytes"
@@ -148,6 +160,14 @@ var Catalog = []Info{
 	{MetricBufCrashes, KindGauge, "events", "buffer crash events (chaos testing / process death)"},
 	{MetricBufOccupancyBytes, KindGauge, "bytes", "current retransmission-buffer occupancy"},
 	{MetricBufShardOccupancyPrefix + "*", KindGauge, "bytes", "current retransmission-buffer occupancy, one gauge per shard"},
+	{MetricJournalAppends, KindGauge, "records", "stash inserts journalled to the write-ahead log"},
+	{MetricJournalAppendBytes, KindGauge, "bytes", "stash payload bytes journalled by those appends"},
+	{MetricJournalTombstones, KindGauge, "records", "release records journalled (capacity evictions plus cumulative-ACK trims)"},
+	{MetricJournalFsyncs, KindGauge, "syncs", "fsync calls issued by the journal writers (one per group-committed batch under -journal-sync batch)"},
+	{MetricJournalFsyncNs, KindHist, "ns", "fsync latency of the journal writers"},
+	{MetricJournalSegmentsRecycled, KindGauge, "segments", "fully-trimmed journal segment files deleted"},
+	{MetricJournalReplayed, KindGauge, "records", "stash entries rebuilt from the journal by recovery (startup open plus crash replays)"},
+	{MetricJournalTruncatedTails, KindGauge, "events", "torn final-segment tails truncated during recovery"},
 	{MetricTxSent, KindGauge, "packets", "data packets emitted by the sender"},
 	{MetricTxSentBytes, KindGauge, "bytes", "wire bytes emitted by the sender (simulator substrate)"},
 	{MetricTxSendErrors, KindGauge, "errors", "socket writes that failed (live substrate)"},
