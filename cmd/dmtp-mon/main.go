@@ -1,0 +1,213 @@
+// Command dmtp-mon is the fleet monitor: it scrapes the /metrics
+// endpoints of N daemons on an interval, derives aggregate fleet health,
+// runs the invariant watchdogs (stash balance, journal replay balance,
+// monotone counters) on every scrape window, and serves the result on
+// its own debug endpoint (/fleet, /alerts, /series — plus the monitor's
+// own /metrics).
+//
+//	dmtp-mon -targets relay=127.0.0.1:8002,recv=127.0.0.1:8003 -listen 127.0.0.1:8010
+//	dmtp-mon -targets 127.0.0.1:8002 -watch
+//	dmtp-mon -postmortem /var/dmtp/journal/blackbox-4242-1700000000.json
+//
+// With -postmortem it instead pretty-prints a crash black box written by
+// a daemon (see -blackbox-dir on the daemons) and exits; -trace-out
+// additionally exports the box's event timeline as Perfetto trace JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/blackbox"
+	"repro/internal/debugsrv"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+)
+
+func main() {
+	targets := flag.String("targets", "", "comma-separated daemons to scrape, each name=host:port (bare host:port allowed)")
+	interval := flag.Duration("interval", time.Second, "scrape interval")
+	history := flag.Int("history", 512, "ring points kept per metric series")
+	listenAddr := flag.String("listen", "", "serve /fleet, /alerts, /series and the monitor's own /metrics on this address (off when empty)")
+	watch := flag.Bool("watch", false, "render a one-screen fleet view in the terminal every interval")
+	postmortem := flag.String("postmortem", "", "pretty-print a crash black-box file and exit")
+	traceOut := flag.String("trace-out", "", "with -postmortem: also write the box's event timeline as Perfetto trace JSON")
+	flag.Parse()
+
+	if *postmortem != "" {
+		if err := runPostmortem(*postmortem, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dmtp-mon:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	parsed, err := parseTargets(*targets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmtp-mon:", err)
+		os.Exit(1)
+	}
+	mon := monitor.New(monitor.Config{
+		Targets:  parsed,
+		Interval: *interval,
+		History:  *history,
+		OnAlert: func(a monitor.Alert) {
+			fmt.Fprintf(os.Stderr, "dmtp-mon: ALERT target=%s check=%s: %s\n", a.Target, a.Check, a.Detail)
+		},
+	})
+	mon.Start()
+	defer mon.Stop()
+
+	if *listenAddr != "" {
+		reg := metrics.NewRegistry()
+		mon.RegisterMetrics(reg)
+		metrics.RegisterProcessMetrics(reg)
+		dbg, err := debugsrv.New(debugsrv.Config{
+			Addr:        *listenAddr,
+			Registry:    reg,
+			Fleet:       func() debugsrv.FleetInfo { return fleetInfo(mon.Fleet()) },
+			Alerts:      func() []debugsrv.AlertInfo { return alertInfos(mon.Alerts()) },
+			Series:      func(name string, n int) ([]debugsrv.SeriesPoint, bool) { return seriesPoints(mon, name, n) },
+			SeriesNames: mon.SeriesNames,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmtp-mon:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("dmtp-mon: fleet endpoint on http://%s\n", dbg.Addr())
+	}
+
+	fmt.Printf("dmtp-mon: scraping %d targets every %v\n", len(parsed), *interval)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if *watch {
+				// ANSI clear + home, then the one-screen view.
+				fmt.Print("\x1b[2J\x1b[H")
+				mon.WriteWatch(os.Stdout)
+			}
+		case <-sig:
+			fmt.Println()
+			mon.WriteWatch(os.Stdout)
+			return
+		}
+	}
+}
+
+// parseTargets parses -targets: comma-separated name=url entries; a bare
+// url gets an auto name t<i>.
+func parseTargets(s string) ([]monitor.Target, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("no targets: pass -targets name=host:port[,name=host:port...]")
+	}
+	var out []monitor.Target
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, found := strings.Cut(part, "=")
+		if !found {
+			name, url = fmt.Sprintf("t%d", i), part
+		}
+		if name == "" || url == "" {
+			return nil, fmt.Errorf("bad target %q: want name=host:port", part)
+		}
+		out = append(out, monitor.Target{Name: name, URL: url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no targets: pass -targets name=host:port[,name=host:port...]")
+	}
+	return out, nil
+}
+
+// runPostmortem loads a black-box file, prints the report, and optionally
+// exports the Perfetto trace.
+func runPostmortem(path, traceOut string) error {
+	box, err := blackbox.Read(path)
+	if err != nil {
+		return err
+	}
+	if err := box.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := box.WriteTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace written to %s\n", traceOut)
+	}
+	return nil
+}
+
+// fleetInfo converts the monitor's fleet snapshot into debugsrv's
+// transport-agnostic form.
+func fleetInfo(f monitor.Fleet) debugsrv.FleetInfo {
+	out := debugsrv.FleetInfo{
+		UnixNano:          f.UnixNano,
+		DeliveredPerSec:   f.DeliveredPerSec,
+		NAKsPerSec:        f.NAKsPerSec,
+		RetransmitsPerSec: f.RetransmitsPerSec,
+		FlowChurnPerSec:   f.FlowChurnPerSec,
+		FlowsActive:       f.FlowsActive,
+		OutstandingGaps:   f.OutstandingGaps,
+		JournalPending:    f.JournalPending,
+		AlertsActive:      f.AlertsActive,
+	}
+	for _, t := range f.Targets {
+		out.Targets = append(out.Targets, debugsrv.TargetInfo{
+			Name:               t.Name,
+			URL:                t.URL,
+			Up:                 t.Up,
+			Err:                t.Err,
+			UptimeSec:          t.UptimeSec,
+			Restarts:           t.Restarts,
+			LastScrapeUnixNano: t.LastScrapeUnixNano,
+		})
+	}
+	return out
+}
+
+// alertInfos converts the monitor's alert log for /alerts.
+func alertInfos(alerts []monitor.Alert) []debugsrv.AlertInfo {
+	out := make([]debugsrv.AlertInfo, 0, len(alerts))
+	for _, a := range alerts {
+		out = append(out, debugsrv.AlertInfo{
+			UnixNano: a.UnixNano,
+			Target:   a.Target,
+			Check:    a.Check,
+			Metric:   a.Metric,
+			Detail:   a.Detail,
+			Count:    a.Count,
+			Active:   a.Active,
+		})
+	}
+	return out
+}
+
+// seriesPoints converts one monitor ring series for /series.
+func seriesPoints(mon *monitor.Monitor, name string, n int) ([]debugsrv.SeriesPoint, bool) {
+	pts, ok := mon.SeriesPoints(name, n)
+	if !ok {
+		return nil, false
+	}
+	out := make([]debugsrv.SeriesPoint, len(pts))
+	for i, p := range pts {
+		out[i] = debugsrv.SeriesPoint{At: p.At, Value: p.Value}
+	}
+	return out, true
+}

@@ -12,6 +12,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/blackbox"
 	"repro/internal/debugsrv"
 	"repro/internal/dmtp"
 	"repro/internal/live"
@@ -25,11 +26,24 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address (off when empty)")
 	traceSample := flag.Int("trace-sample", 0, "collect spans from in-band traced messages (0 = off; the value only arms collection — sampling is the sender's)")
 	traceOut := flag.String("trace-out", "", "write collected spans as Perfetto trace JSON on exit")
+	blackboxDir := flag.String("blackbox-dir", "", "write a crash black box (flight ring + final metrics) here on panic (off when empty)")
 	flag.Parse()
 
 	var rec *metrics.FlightRecorder
-	if *debugAddr != "" {
+	if *debugAddr != "" || *blackboxDir != "" {
 		rec = metrics.NewFlightRecorder(0)
+	}
+	var reg *metrics.Registry
+	if *blackboxDir != "" {
+		dir := *blackboxDir
+		defer func() {
+			if v := recover(); v != nil {
+				if path, err := blackbox.Write(dir, "receiver", fmt.Sprintf("panic: %v", v), reg, rec); err == nil {
+					fmt.Fprintf(os.Stderr, "dmtp-recv: black box written to %s\n", path)
+				}
+				panic(v)
+			}
+		}()
 	}
 	var tracer *tracespan.Collector
 	if *traceSample > 0 || *traceOut != "" {
@@ -53,14 +67,16 @@ func main() {
 	defer recv.Close()
 	fmt.Printf("dmtp-recv: listening on %s\n", recv.Addr())
 
-	if *debugAddr != "" {
-		reg := metrics.NewRegistry()
+	if *debugAddr != "" || *blackboxDir != "" {
+		reg = metrics.NewRegistry()
 		recv.RegisterMetrics(reg)
 		metrics.RegisterProcessMetrics(reg)
 		metrics.RegisterFlightMetrics(reg, rec)
 		if tracer != nil {
 			dmtp.RegisterTraceMetrics(reg, tracer)
 		}
+	}
+	if *debugAddr != "" {
 		dbg, err := debugsrv.New(debugsrv.Config{Addr: *debugAddr, Registry: reg, Recorder: rec, Tracer: tracer})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmtp-recv:", err)

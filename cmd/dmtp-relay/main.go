@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/blackbox"
 	"repro/internal/debugsrv"
 	"repro/internal/live"
 	"repro/internal/metrics"
@@ -34,11 +35,25 @@ func main() {
 	maxFlows := flag.Int("max-flows", 0, "flow-table bound; registrations beyond it are rejected (0 = unlimited)")
 	journalDir := flag.String("journal-dir", "", "stash write-ahead journal directory; on restart the stash is replayed from it (off when empty)")
 	journalSync := flag.String("journal-sync", "batch", "journal fsync policy: batch, none, or always")
+	blackboxDir := flag.String("blackbox-dir", "", "write a crash black box (flight ring + final metrics) here on panic or relay crash; defaults to -journal-dir when set")
 	flag.Parse()
+	if *blackboxDir == "" {
+		*blackboxDir = *journalDir
+	}
 
 	var rec *metrics.FlightRecorder
-	if *debugAddr != "" || *traceOut != "" {
+	if *debugAddr != "" || *traceOut != "" || *blackboxDir != "" {
 		rec = metrics.NewFlightRecorder(0)
+	}
+	var reg *metrics.Registry
+	if *blackboxDir != "" {
+		dir := *blackboxDir
+		defer func() {
+			if v := recover(); v != nil {
+				writeBlackbox(dir, fmt.Sprintf("panic: %v", v), reg, rec)
+				panic(v)
+			}
+		}()
 	}
 	relay, err := live.NewRelay(live.RelayConfig{
 		Listen:         *listen,
@@ -52,6 +67,11 @@ func main() {
 		MaxFlows:       *maxFlows,
 		JournalDir:     *journalDir,
 		JournalSync:    *journalSync,
+		Blackbox: func(reason string) {
+			if *blackboxDir != "" {
+				writeBlackbox(*blackboxDir, reason, reg, rec)
+			}
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
@@ -69,14 +89,17 @@ func main() {
 			*journalDir, *journalSync, replayed)
 	}
 
-	if *debugAddr != "" {
-		reg := metrics.NewRegistry()
+	if *debugAddr != "" || *blackboxDir != "" {
+		reg = metrics.NewRegistry()
 		relay.RegisterMetrics(reg)
 		metrics.RegisterProcessMetrics(reg)
 		metrics.RegisterFlightMetrics(reg, rec)
+	}
+	if *debugAddr != "" {
 		dbg, err := debugsrv.New(debugsrv.Config{
 			Addr: *debugAddr, Registry: reg, Recorder: rec,
 			Flows: func() []debugsrv.FlowInfo { return debugFlows(relay) },
+			Ready: relay.Ready,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
@@ -142,6 +165,17 @@ func debugFlows(relay *live.Relay) []debugsrv.FlowInfo {
 		})
 	}
 	return out
+}
+
+// writeBlackbox persists a crash black box and logs the path (errors are
+// reported, not fatal — the daemon is already going down).
+func writeBlackbox(dir, reason string, reg *metrics.Registry, rec *metrics.FlightRecorder) {
+	path, err := blackbox.Write(dir, "relay", reason, reg, rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmtp-relay:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dmtp-relay: black box written to %s\n", path)
 }
 
 // writeFlightTrace dumps the recorder's timeline as trace-event JSON.

@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/blackbox"
 	"repro/internal/daq"
 	"repro/internal/debugsrv"
 	"repro/internal/live"
@@ -28,11 +29,24 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address (off when empty)")
 	traceSample := flag.Int("trace-sample", 0, "emit an in-band trace on every Nth message (0 = off)")
 	traceOut := flag.String("trace-out", "", "write the flight-recorder timeline as Perfetto trace JSON on exit")
+	blackboxDir := flag.String("blackbox-dir", "", "write a crash black box (flight ring + final metrics) here on panic (off when empty)")
 	flag.Parse()
 
 	var rec *metrics.FlightRecorder
-	if *debugAddr != "" || *traceOut != "" {
+	if *debugAddr != "" || *traceOut != "" || *blackboxDir != "" {
 		rec = metrics.NewFlightRecorder(0)
+	}
+	var reg *metrics.Registry
+	if *blackboxDir != "" {
+		dir := *blackboxDir
+		defer func() {
+			if v := recover(); v != nil {
+				if path, err := blackbox.Write(dir, "sender", fmt.Sprintf("panic: %v", v), reg, rec); err == nil {
+					fmt.Fprintf(os.Stderr, "dmtp-send: black box written to %s\n", path)
+				}
+				panic(v)
+			}
+		}()
 	}
 	snd, err := live.NewSenderWithConfig(live.SenderConfig{
 		Dst:         *to,
@@ -47,11 +61,13 @@ func main() {
 	}
 	defer snd.Close()
 
-	if *debugAddr != "" {
-		reg := metrics.NewRegistry()
+	if *debugAddr != "" || *blackboxDir != "" {
+		reg = metrics.NewRegistry()
 		snd.RegisterMetrics(reg)
 		metrics.RegisterProcessMetrics(reg)
 		metrics.RegisterFlightMetrics(reg, rec)
+	}
+	if *debugAddr != "" {
 		dbg, err := debugsrv.New(debugsrv.Config{Addr: *debugAddr, Registry: reg, Recorder: rec})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmtp-send:", err)

@@ -42,6 +42,9 @@ var defaultPackages = []string{
 	"./internal/tracespan",
 	"./internal/campaign",
 	"./internal/journal",
+	"./internal/monitor",
+	"./internal/monitor/oracles",
+	"./internal/blackbox",
 }
 
 func main() {

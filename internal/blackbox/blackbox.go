@@ -1,0 +1,209 @@
+// Package blackbox persists a crashing daemon's final state — the
+// flight-recorder ring dump plus a last metrics snapshot — to a JSON file
+// an operator (or dmtp-mon -postmortem) can read after the process is
+// gone. It is the crash-time counterpart of the live /events and /metrics
+// endpoints: those die with the process, the black box does not.
+//
+// The daemons arm it two ways: live.RelayConfig.Blackbox fires on an
+// explicit Crash(), and the cmd/dmtp-* mains write one from a deferred
+// panic handler when -blackbox-dir is set (the relay defaults the
+// directory to -journal-dir, which is already durable storage).
+package blackbox
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tracespan"
+)
+
+// Box is one persisted crash black box.
+type Box struct {
+	// Role is the crashing daemon's role ("relay", "sender", "receiver").
+	Role string `json:"role"`
+	// Reason names the trigger: "crash" (an explicit Crash()) or
+	// "panic: <value>" from a daemon's panic handler.
+	Reason string `json:"reason"`
+	// PID is the crashed process's ID — part of the filename, kept in the
+	// document so a renamed file stays attributable.
+	PID int `json:"pid"`
+	// UnixNano is the capture time.
+	UnixNano int64 `json:"unix_nano"`
+	// Metrics is the final registry snapshot (nil registry: empty).
+	Metrics []metrics.Sample `json:"metrics"`
+	// Events is the flight-recorder dump, oldest first (nil recorder:
+	// empty).
+	Events []metrics.Event `json:"events"`
+}
+
+// Capture assembles a Box from the daemon's live state. reg and rec may
+// be nil.
+func Capture(role, reason string, reg *metrics.Registry, rec *metrics.FlightRecorder) *Box {
+	b := &Box{
+		Role:     role,
+		Reason:   reason,
+		PID:      os.Getpid(),
+		UnixNano: time.Now().UnixNano(),
+	}
+	if reg != nil {
+		b.Metrics = reg.Snapshot()
+	}
+	b.Events = rec.Snapshot() // nil-safe
+	return b
+}
+
+// Write captures and persists a black box into dir as
+// blackbox-<pid>-<unixnano>.json, creating dir if missing, and returns
+// the file path. The write goes through a temp file + rename so a crash
+// during the crash dump never leaves a half-written box behind.
+func Write(dir, role, reason string, reg *metrics.Registry, rec *metrics.FlightRecorder) (string, error) {
+	b := Capture(role, reason, reg, rec)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("blackbox: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("blackbox-%d-%d.json", b.PID, b.UnixNano))
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("blackbox: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("blackbox: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("blackbox: %w", err)
+	}
+	return path, nil
+}
+
+// Read loads a black-box file written by Write.
+func Read(path string) (*Box, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("blackbox: %w", err)
+	}
+	var b Box
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("blackbox: %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// recoverySpan is one reconstructed gap lifecycle: detection → resolution.
+type recoverySpan struct {
+	exp, seq    uint64
+	openedAt    int64
+	closedAt    int64
+	naks        uint64
+	outcome     string // "recovered", "written-off", "open"
+	hasResolved bool
+}
+
+// WriteReport pretty-prints the box: the header, the nonzero metrics, the
+// tracespan-style reconstruction of every gap's recovery lifecycle the
+// ring still covers, and the final stretch of the event timeline. This is
+// what dmtp-mon -postmortem shows.
+func (b *Box) WriteReport(w io.Writer) error {
+	at := time.Unix(0, b.UnixNano).UTC()
+	fmt.Fprintf(w, "black box: role=%s pid=%d captured=%s\n", b.Role, b.PID, at.Format(time.RFC3339Nano))
+	fmt.Fprintf(w, "reason: %s\n", b.Reason)
+
+	fmt.Fprintf(w, "\n== final metrics (nonzero) ==\n")
+	for _, s := range b.Metrics {
+		if s.Value == 0 && s.Kind != metrics.KindHist {
+			continue
+		}
+		if s.Kind == metrics.KindHist {
+			fmt.Fprintf(w, "%-44s count=%d mean=%d p50=%d p99=%d max=%d\n", s.Name, s.Value, s.Mean, s.P50, s.P99, s.Max)
+		} else {
+			fmt.Fprintf(w, "%-44s %d\n", s.Name, s.Value)
+		}
+	}
+
+	spans := reconstruct(b.Events)
+	if len(spans) > 0 {
+		fmt.Fprintf(w, "\n== recovery spans (reconstructed from the flight ring) ==\n")
+		for _, sp := range spans {
+			switch sp.outcome {
+			case "open":
+				fmt.Fprintf(w, "exp=%#x seq=%d  gap opened %s  UNRESOLVED at crash\n",
+					sp.exp, sp.seq, eventTime(sp.openedAt))
+			default:
+				fmt.Fprintf(w, "exp=%#x seq=%d  gap opened %s  %s after %s (%d NAKs)\n",
+					sp.exp, sp.seq, eventTime(sp.openedAt), sp.outcome,
+					time.Duration(sp.closedAt-sp.openedAt), sp.naks)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "\n== event timeline (%d events) ==\n", len(b.Events))
+	for _, ev := range b.Events {
+		fmt.Fprintln(w, ev.String())
+	}
+	return nil
+}
+
+// WriteTrace renders the box's event timeline as Chrome trace-event JSON
+// (load in Perfetto), reusing the flight-trace exporter the daemons use
+// for -trace-out.
+func (b *Box) WriteTrace(w io.Writer) error {
+	return tracespan.WriteFlightTrace(w, b.Events)
+}
+
+// eventTime renders an event timestamp the same way Event.String does.
+func eventTime(at int64) string {
+	if at >= int64(1)<<53 {
+		return time.Unix(0, at).UTC().Format("15:04:05.000000")
+	}
+	return time.Duration(at).String()
+}
+
+// reconstruct matches gap-detected events to their resolution (recovered
+// or write-off) per sequence number, producing the per-gap lifecycle
+// spans. Gaps whose resolution the ring no longer covers appear as open.
+func reconstruct(events []metrics.Event) []recoverySpan {
+	type key struct{ exp, seq uint64 }
+	open := make(map[key]*recoverySpan)
+	var out []*recoverySpan
+	for i := range events {
+		ev := events[i]
+		switch ev.Kind {
+		case metrics.EvGapDetected:
+			// Seq..Aux is the contiguous missing run; track each seq.
+			last := ev.Aux
+			if last < ev.Seq {
+				last = ev.Seq
+			}
+			for seq := ev.Seq; seq <= last; seq++ {
+				k := key{ev.Exp, seq}
+				if _, dup := open[k]; dup {
+					continue
+				}
+				sp := &recoverySpan{exp: ev.Exp, seq: seq, openedAt: ev.At, outcome: "open"}
+				open[k] = sp
+				out = append(out, sp)
+			}
+		case metrics.EvRecovered:
+			if sp := open[key{ev.Exp, ev.Seq}]; sp != nil && !sp.hasResolved {
+				sp.closedAt, sp.naks, sp.outcome, sp.hasResolved = ev.At, ev.Aux, "recovered", true
+			}
+		case metrics.EvWriteOff:
+			if sp := open[key{ev.Exp, ev.Seq}]; sp != nil && !sp.hasResolved {
+				sp.closedAt, sp.outcome, sp.hasResolved = ev.At, "written-off", true
+			}
+		}
+	}
+	spans := make([]recoverySpan, len(out))
+	for i, sp := range out {
+		spans[i] = *sp
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].openedAt < spans[j].openedAt })
+	return spans
+}

@@ -1,0 +1,107 @@
+package blackbox
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	reg.Counter(metrics.MetricRxDelivered).Add(42)
+	rec := metrics.NewFlightRecorder(16)
+	rec.RecordAt(100, metrics.EvGapDetected, 7, 3, 4)
+	rec.RecordAt(200, metrics.EvRecovered, 7, 3, 2)
+
+	path, err := Write(dir, "relay", "crash", reg, rec)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !strings.HasPrefix(filepath.Base(path), "blackbox-") || !strings.HasSuffix(path, ".json") {
+		t.Errorf("unexpected filename %q", path)
+	}
+	// The temp file must not linger.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind")
+	}
+
+	box, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if box.Role != "relay" || box.Reason != "crash" || box.PID != os.Getpid() {
+		t.Errorf("header = %s/%s/%d", box.Role, box.Reason, box.PID)
+	}
+	if v, ok := metrics.SampleValue(box.Metrics, metrics.MetricRxDelivered); !ok || v != 42 {
+		t.Errorf("metrics snapshot lost %s: %d %v", metrics.MetricRxDelivered, v, ok)
+	}
+	if len(box.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(box.Events))
+	}
+}
+
+func TestCaptureNilSafe(t *testing.T) {
+	b := Capture("sender", "panic: boom", nil, nil)
+	if b.Role != "sender" || len(b.Metrics) != 0 || len(b.Events) != 0 {
+		t.Fatalf("nil-source capture = %+v", b)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk.json")
+	os.WriteFile(path, []byte("not json"), 0o644)
+	if _, err := Read(path); err == nil {
+		t.Fatal("garbage file read without error")
+	}
+	if _, err := Read(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file read without error")
+	}
+}
+
+// TestReportReconstruction checks the gap-lifecycle spans in the
+// postmortem report: a recovered gap, a written-off gap, and one still
+// open at crash time.
+func TestReportReconstruction(t *testing.T) {
+	rec := metrics.NewFlightRecorder(32)
+	rec.RecordAt(100, metrics.EvGapDetected, 7, 3, 4) // gap covers seqs 3 and 4
+	rec.RecordAt(150, metrics.EvGapDetected, 7, 9, 9) // single-seq gap, never resolves
+	rec.RecordAt(300, metrics.EvRecovered, 7, 3, 2)   // seq 3 recovered after 2 NAKs
+	rec.RecordAt(400, metrics.EvWriteOff, 7, 4, 0)    // seq 4 written off
+
+	box := Capture("relay", "crash", nil, rec)
+	var b strings.Builder
+	if err := box.WriteReport(&b); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	report := b.String()
+	for _, want := range []string{
+		"role=relay",
+		"reason: crash",
+		"recovered after 200ns (2 NAKs)",
+		"written-off after 300ns",
+		"UNRESOLVED at crash",
+		"event timeline (4 events)",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report lacks %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestWriteTraceIsValidJSON(t *testing.T) {
+	rec := metrics.NewFlightRecorder(8)
+	rec.RecordAt(100, metrics.EvGapDetected, 1, 2, 2)
+	box := Capture("relay", "crash", nil, rec)
+	var b strings.Builder
+	if err := box.WriteTrace(&b); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if !strings.Contains(b.String(), "traceEvents") {
+		t.Errorf("trace output missing traceEvents: %s", b.String())
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/monitor/oracles"
 	"repro/internal/wire"
 )
 
@@ -153,15 +154,6 @@ func kindCount(rec *metrics.FlightRecorder, kind metrics.EventKind) (uint64, boo
 	return n, true
 }
 
-func sampleValue(samples []metrics.Sample, name string) (int64, bool) {
-	for _, s := range samples {
-		if s.Name == name {
-			return s.Value, true
-		}
-	}
-	return 0, false
-}
-
 // checkOracles runs every post-run invariant oracle against the cell
 // environment and returns the findings.
 func checkOracles(env *cellEnv, led *ledger, res *CellResult) []string {
@@ -179,13 +171,16 @@ func checkOracles(env *cellEnv, led *ledger, res *CellResult) []string {
 	}
 
 	// Oracle: stash release balance. Every stashed byte is either still
-	// buffered or was released exactly once (evict, trim, crash).
+	// buffered or was released exactly once (evict, trim, crash). The
+	// predicate is shared with the fleet monitor's stash-balance watchdog
+	// (internal/monitor/oracles), which evaluates the same invariant at
+	// runtime from the dmtp.buf.stash_imbalance_bytes gauge.
 	for _, b := range env.buffers {
 		bs := b.Stats
-		if got, want := bs.BufferedBytes-bs.ReleasedBytes, uint64(b.BufferedBytes()); got != want {
+		if !oracles.StashBalanced(bs.BufferedBytes, bs.ReleasedBytes, uint64(b.BufferedBytes())) {
 			out = append(out, fmt.Sprintf(
 				"oracle/stash: buffer byte leak: stashed %d − released %d = %d, but occupancy is %d",
-				bs.BufferedBytes, bs.ReleasedBytes, got, want))
+				bs.BufferedBytes, bs.ReleasedBytes, bs.BufferedBytes-bs.ReleasedBytes, b.BufferedBytes()))
 		}
 	}
 
@@ -240,7 +235,7 @@ func checkOracles(env *cellEnv, led *ledger, res *CellResult) []string {
 		{metrics.MetricRxOutstandingGaps, int64(env.recv.OutstandingGaps())},
 	}
 	for _, p := range metricPairs {
-		got, ok := sampleValue(samples, p.name)
+		got, ok := metrics.SampleValue(samples, p.name)
 		if !ok {
 			out = append(out, fmt.Sprintf("oracle/metrics: %s not exported", p.name))
 			continue
@@ -299,7 +294,7 @@ func checkOracles(env *cellEnv, led *ledger, res *CellResult) []string {
 	// campaign self-test) breaks the balance here.
 	for i, b := range env.buffers {
 		for sh, rec := range b.JournalRecoveries() {
-			if rec.Appended-rec.Tombstoned != rec.Replayed {
+			if !oracles.ReplayBalanced(rec.Appended, rec.Tombstoned, rec.Replayed) {
 				out = append(out, fmt.Sprintf(
 					"oracle/journal: buffer %d shard %d replay imbalance: appended %d − tombstoned %d ≠ replayed %d",
 					i, sh, rec.Appended, rec.Tombstoned, rec.Replayed))

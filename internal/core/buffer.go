@@ -318,6 +318,12 @@ func (b *BufferNode) RegisterMetrics(reg *metrics.Registry) {
 	dmtp.RegisterBufferMetrics(reg,
 		func() dmtp.BufferStats { return b.Stats.BufferStats },
 		b.BufferedBytes)
+	// The simulator loop is single-threaded, so stats and occupancy are
+	// trivially consistent: a healthy engine samples exactly 0.
+	dmtp.RegisterStashImbalance(reg, func() int64 {
+		bs := b.Stats.BufferStats
+		return int64(bs.BufferedBytes) - int64(bs.ReleasedBytes) - int64(b.BufferedBytes())
+	})
 	reg.RegisterFunc(metrics.MetricRelayUpgraded, func() int64 { return int64(b.Stats.Upgraded) })
 	reg.RegisterFunc(metrics.MetricRelayForwarded, func() int64 { return int64(b.Stats.Forwarded) })
 	reg.RegisterFunc(metrics.MetricRelayRepointed, func() int64 { return int64(b.Stats.Repointed) })

@@ -216,8 +216,37 @@ func TestDebugEndpointsLiveLoopback(t *testing.T) {
 		t.Errorf("/events?format=json events lack kind names: %+v", events[:min(3, len(events))])
 	}
 
+	// Prometheus exposition: right content type, sanitized names, TYPE
+	// metadata, and the delivered counter carrying the same value as the
+	// JSON form.
+	promResp, err := http.Get("http://" + recvAddr + "/metrics?format=prom")
+	if err != nil {
+		t.Fatalf("/metrics?format=prom: %v", err)
+	}
+	promBody, _ := io.ReadAll(promResp.Body)
+	promResp.Body.Close()
+	if ct := promResp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("prom Content-Type = %q, want version=0.0.4", ct)
+	}
+	prom := string(promBody)
+	// The receiver exports dmtp.rx.delivered through a sampled func gauge,
+	// so its exposition type is gauge.
+	if !strings.Contains(prom, "# TYPE dmtp_rx_delivered gauge") {
+		t.Errorf("prom output lacks TYPE line for dmtp_rx_delivered:\n%.400s", prom)
+	}
+	if !strings.Contains(prom, fmt.Sprintf("dmtp_rx_delivered %d\n", cm[metrics.MetricRxDelivered])) {
+		t.Errorf("prom dmtp_rx_delivered disagrees with text form %d", cm[metrics.MetricRxDelivered])
+	}
+	if !strings.Contains(prom, "_bucket{le=\"+Inf\"}") {
+		t.Errorf("prom output lacks histogram buckets:\n%.400s", prom)
+	}
+
 	if body := get(t, recvAddr, "/healthz"); strings.TrimSpace(body) != "ok" {
 		t.Errorf("/healthz = %q", body)
+	}
+	// No Ready hook wired: readiness degrades to liveness.
+	if body := get(t, recvAddr, "/healthz?probe=ready"); strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz?probe=ready without hook = %q", body)
 	}
 	// The endpoint meters itself; by now we've scraped it several times.
 	if m := scrape(t, recvAddr); m[metrics.MetricDebugRequests] == 0 || m[metrics.MetricDebugScrapeNs] == 0 {
@@ -294,6 +323,243 @@ func TestDebugEventsFilters(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("GET %s: status %d, want 400", bad, resp.StatusCode)
 		}
+	}
+}
+
+// TestDebugEventsNBounds pins /events?n= edge semantics table-driven:
+// n=0 is an empty (but valid) response, n beyond the ring capacity is
+// clamped rather than rejected, and non-numeric or negative n is a 400.
+func TestDebugEventsNBounds(t *testing.T) {
+	const ringCap = 16
+	rec := metrics.NewFlightRecorder(ringCap)
+	for i := uint64(1); i <= 10; i++ {
+		rec.RecordAt(int64(i)*1000, metrics.EvNAKSent, 7, i, 0)
+	}
+	reg := metrics.NewRegistry()
+	srv, err := debugsrv.New(debugsrv.Config{Addr: "127.0.0.1:0", Registry: reg, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cases := []struct {
+		n          string
+		wantStatus int
+		wantEvents int
+	}{
+		{"0", http.StatusOK, 0},
+		{"5", http.StatusOK, 5},
+		{"10", http.StatusOK, 10},
+		{"15", http.StatusOK, 10},      // more than recorded, within the ring
+		{"1000000", http.StatusOK, 10}, // beyond the ring: clamped to its capacity
+		{"-1", http.StatusBadRequest, 0},
+		{"banana", http.StatusBadRequest, 0},
+		{"1e3", http.StatusBadRequest, 0},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get("http://" + srv.Addr() + "/events?format=json&n=" + tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("n=%s: status %d, want %d", tc.n, resp.StatusCode, tc.wantStatus)
+			continue
+		}
+		if tc.wantStatus != http.StatusOK {
+			continue
+		}
+		var events []metrics.Event
+		if err := json.Unmarshal(body, &events); err != nil {
+			t.Errorf("n=%s: %v", tc.n, err)
+			continue
+		}
+		if len(events) != tc.wantEvents {
+			t.Errorf("n=%s: %d events, want %d", tc.n, len(events), tc.wantEvents)
+		}
+		// The tail is kept, not the head.
+		if len(events) > 0 && events[len(events)-1].Seq != 10 {
+			t.Errorf("n=%s: last seq %d, want 10", tc.n, events[len(events)-1].Seq)
+		}
+	}
+}
+
+// TestHealthzReadinessJournaledRestart covers the readiness window the
+// issue names: a journaled relay that crashed reports not-ready over
+// HTTP (with the replay-pending reason) until Restart completes its
+// journal replay and socket rebind, while liveness stays 200 throughout.
+func TestHealthzReadinessJournaledRestart(t *testing.T) {
+	recv, err := live.NewReceiver(live.ReceiverConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	relay, err := live.NewRelay(live.RelayConfig{
+		Listen:     "127.0.0.1:0",
+		Forward:    recv.Addr(),
+		MaxAge:     time.Minute,
+		JournalDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	reg := metrics.NewRegistry()
+	relay.RegisterMetrics(reg)
+	srv, err := debugsrv.New(debugsrv.Config{Addr: "127.0.0.1:0", Registry: reg, Ready: relay.Ready})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	probe := func() (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + "/healthz?probe=ready")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := probe(); code != http.StatusOK || strings.TrimSpace(body) != "ready" {
+		t.Fatalf("fresh relay readiness = %d %q", code, body)
+	}
+
+	relay.Crash()
+	code, body := probe()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("crashed relay readiness = %d %q, want 503", code, body)
+	}
+	if !strings.Contains(body, "journal replay pending") {
+		t.Errorf("readiness reason = %q, want the replay-pending explanation", body)
+	}
+	// Liveness is about the process, not the datapath: still 200.
+	if live := get(t, srv.Addr(), "/healthz"); strings.TrimSpace(live) != "ok" {
+		t.Errorf("liveness during crash = %q", live)
+	}
+
+	if err := relay.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if code, body := probe(); code != http.StatusOK || strings.TrimSpace(body) != "ready" {
+		t.Fatalf("restarted relay readiness = %d %q", code, body)
+	}
+}
+
+// TestMonRoutesWithStubHooks covers /fleet, /alerts and /series through
+// stub hooks (the shapes cmd/dmtp-mon wires), including the 404 contract
+// on servers that don't wire them.
+func TestMonRoutesWithStubHooks(t *testing.T) {
+	reg := metrics.NewRegistry()
+	fleet := debugsrv.FleetInfo{
+		NAKsPerSec:   2.5,
+		FlowsActive:  3,
+		AlertsActive: 1,
+		Targets: []debugsrv.TargetInfo{
+			{Name: "relay", URL: "127.0.0.1:1", Up: true, UptimeSec: 9},
+			{Name: "recv", URL: "127.0.0.1:2", Up: false, Err: "connection refused"},
+		},
+	}
+	alerts := []debugsrv.AlertInfo{
+		{Target: "relay", Check: "stash-balance", Detail: "imbalance 64", Count: 3, Active: true},
+	}
+	series := map[string][]debugsrv.SeriesPoint{
+		"relay/dmtp.rx.delivered": {{At: 1, Value: 10}, {At: 2, Value: 20}},
+	}
+	srv, err := debugsrv.New(debugssrvConfigWithHooks(reg, fleet, alerts, series))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var gotFleet debugsrv.FleetInfo
+	if err := json.Unmarshal([]byte(get(t, srv.Addr(), "/fleet?format=json")), &gotFleet); err != nil {
+		t.Fatalf("/fleet: %v", err)
+	}
+	if gotFleet.NAKsPerSec != 2.5 || len(gotFleet.Targets) != 2 {
+		t.Errorf("/fleet = %+v", gotFleet)
+	}
+	fleetText := get(t, srv.Addr(), "/fleet")
+	for _, want := range []string{"naks/s 2.5", "target relay", "down connection refused"} {
+		if !strings.Contains(fleetText, want) {
+			t.Errorf("/fleet text lacks %q:\n%s", want, fleetText)
+		}
+	}
+
+	var gotAlerts []debugsrv.AlertInfo
+	if err := json.Unmarshal([]byte(get(t, srv.Addr(), "/alerts?format=json")), &gotAlerts); err != nil {
+		t.Fatalf("/alerts: %v", err)
+	}
+	if len(gotAlerts) != 1 || gotAlerts[0].Check != "stash-balance" {
+		t.Errorf("/alerts = %+v", gotAlerts)
+	}
+	if text := get(t, srv.Addr(), "/alerts"); !strings.Contains(text, "state=active") {
+		t.Errorf("/alerts text = %q", text)
+	}
+
+	if idx := get(t, srv.Addr(), "/series"); !strings.Contains(idx, "relay/dmtp.rx.delivered") {
+		t.Errorf("/series index = %q", idx)
+	}
+	var pts []debugsrv.SeriesPoint
+	if err := json.Unmarshal([]byte(get(t, srv.Addr(), "/series?format=json&name=relay/dmtp.rx.delivered")), &pts); err != nil {
+		t.Fatalf("/series: %v", err)
+	}
+	if len(pts) != 2 || pts[1].Value != 20 {
+		t.Errorf("/series points = %+v", pts)
+	}
+	for path, wantStatus := range map[string]int{
+		"/series?name=no/such": http.StatusNotFound,
+		"/series?name=x&n=-2":  http.StatusBadRequest,
+		"/series?name=x&n=zzz": http.StatusBadRequest,
+	} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+	}
+
+	// A daemon that doesn't wire the hooks 404s the routes entirely.
+	bare, err := debugsrv.New(debugsrv.Config{Addr: "127.0.0.1:0", Registry: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	for _, path := range []string{"/fleet", "/alerts", "/series"} {
+		resp, err := http.Get("http://" + bare.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s on a bare server: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// debugssrvConfigWithHooks builds a Config with all monitor hooks stubbed.
+func debugssrvConfigWithHooks(reg *metrics.Registry, fleet debugsrv.FleetInfo, alerts []debugsrv.AlertInfo, series map[string][]debugsrv.SeriesPoint) debugsrv.Config {
+	return debugsrv.Config{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Fleet:    func() debugsrv.FleetInfo { return fleet },
+		Alerts:   func() []debugsrv.AlertInfo { return alerts },
+		Series: func(name string, n int) ([]debugsrv.SeriesPoint, bool) {
+			pts, ok := series[name]
+			return pts, ok
+		},
+		SeriesNames: func() []string {
+			var out []string
+			for name := range series {
+				out = append(out, name)
+			}
+			return out
+		},
 	}
 }
 

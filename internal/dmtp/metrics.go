@@ -60,6 +60,18 @@ func RegisterBufferMetrics(reg *metrics.Registry, snap func() BufferStats, occup
 	reg.RegisterFunc(metrics.MetricBufOccupancyBytes, func() int64 { return int64(occupancy()) })
 }
 
+// RegisterStashImbalance publishes the stash-balance invariant as the
+// dmtp.buf.stash_imbalance_bytes gauge. imbalance must compute cumulative
+// stashed bytes − released bytes − current occupancy with all three reads
+// made atomically with respect to stash mutation (per shard under one
+// shard-lock hold on the live relay; trivially consistent on the
+// single-threaded simulator), so a healthy engine samples exactly 0 at
+// any instant — which is what lets the fleet monitor treat any nonzero
+// sample as an invariant violation rather than a scrape-skew artifact.
+func RegisterStashImbalance(reg *metrics.Registry, imbalance func() int64) {
+	reg.RegisterFunc(metrics.MetricBufStashImbalance, imbalance)
+}
+
 // FlowStats are a relay's flow-table counters (see dmtp.relay.flows.*).
 // Both substrates' many-flow adapters fill one from their own state so
 // the exported metric names match by construction.

@@ -252,6 +252,12 @@ func (j *Journal) Stats() Stats {
 	}
 }
 
+// Pending returns the journal's flush lag: records enqueued to the
+// writer goroutine but not yet drained into the segment file. Exposed as
+// the dmtp.journal.pending gauge — sustained growth means the writer
+// (typically its fsyncs) cannot keep up with the stash rate.
+func (j *Journal) Pending() int { return len(j.in) }
+
 // Append journals one stash insert. It frames the record into a pooled
 // buffer and enqueues it for the writer; the packet itself is copied
 // into the frame, so the stash keeps exclusive ownership of pkt.

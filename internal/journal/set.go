@@ -2,6 +2,7 @@ package journal
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/metrics"
 )
@@ -10,8 +11,12 @@ import (
 // i's BufferEngine journals into Set.Shard(i). All shards share one
 // directory; filenames carry the shard number.
 type Set struct {
-	js   []*Journal
-	recs []*Recovered
+	js []*Journal
+	// recMu guards recs: Replay swaps recoveries while a concurrent
+	// metrics scrape may be reading them through the gauges
+	// RegisterMetrics installs.
+	recMu sync.Mutex
+	recs  []*Recovered
 }
 
 // OpenSet opens (and recovers) one journal per shard in dir. On error,
@@ -43,7 +48,11 @@ func (s *Set) NumShards() int { return len(s.js) }
 func (s *Set) Shard(i int) *Journal { return s.js[i] }
 
 // Recovered returns shard i's recovery from the OpenSet scan.
-func (s *Set) Recovered(i int) *Recovered { return s.recs[i] }
+func (s *Set) Recovered(i int) *Recovered {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.recs[i]
+}
 
 // Flush barriers every shard: all records enqueued before the call are
 // in the segment files when it returns.
@@ -64,7 +73,9 @@ func (s *Set) Replay() ([]*Recovered, error) {
 			return nil, fmt.Errorf("journal: shard %d: %w", i, err)
 		}
 		out[i] = rec
+		s.recMu.Lock()
 		s.recs[i] = rec
+		s.recMu.Unlock()
 	}
 	return out, nil
 }
@@ -73,9 +84,21 @@ func (s *Set) Replay() ([]*Recovered, error) {
 // scan, or the last Replay) — what the campaign's journal-balance
 // oracle inspects.
 func (s *Set) Recoveries() []*Recovered {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
 	out := make([]*Recovered, len(s.recs))
 	copy(out, s.recs)
 	return out
+}
+
+// Pending sums the per-shard journals' flush lag (records enqueued to
+// the writers but not yet in the segment files).
+func (s *Set) Pending() int {
+	total := 0
+	for _, j := range s.js {
+		total += j.Pending()
+	}
+	return total
 }
 
 // Stats sums the per-shard journal counters.
@@ -119,6 +142,26 @@ func (s *Set) RegisterMetrics(reg *metrics.Registry) {
 	reg.RegisterFunc(metrics.MetricJournalSegmentsRecycled, func() int64 { return int64(snap().SegmentsRecycled) })
 	reg.RegisterFunc(metrics.MetricJournalReplayed, func() int64 { return int64(snap().Replayed) })
 	reg.RegisterFunc(metrics.MetricJournalTruncatedTails, func() int64 { return int64(snap().TruncatedTails) })
+	reg.RegisterFunc(metrics.MetricJournalPending, func() int64 { return int64(s.Pending()) })
+	// The latest recovery's balance, summed across shards: the fleet
+	// monitor's journal-balance watchdog checks appended − tombstoned ==
+	// replayed on every scrape window.
+	recSum := func(f func(*Recovered) uint64) int64 {
+		var total int64
+		for _, rec := range s.Recoveries() {
+			total += int64(f(rec))
+		}
+		return total
+	}
+	reg.RegisterFunc(metrics.MetricJournalRecoveryAppended, func() int64 {
+		return recSum(func(r *Recovered) uint64 { return r.Appended })
+	})
+	reg.RegisterFunc(metrics.MetricJournalRecoveryTombstoned, func() int64 {
+		return recSum(func(r *Recovered) uint64 { return r.Tombstoned })
+	})
+	reg.RegisterFunc(metrics.MetricJournalRecoveryReplayed, func() int64 {
+		return recSum(func(r *Recovered) uint64 { return r.Replayed })
+	})
 	h := reg.Histogram(metrics.MetricJournalFsyncNs)
 	for _, j := range s.js {
 		j.fsyncHist.Store(h)

@@ -101,6 +101,12 @@ type RelayConfig struct {
 	// empty (one group-committed fsync per writer drain), or SyncNone /
 	// SyncAlways.
 	JournalSync string
+	// Blackbox, when non-nil, is invoked at the end of Crash(), after the
+	// receive loop has drained and the journal (if any) has flushed — the
+	// point where the daemon's final state is stable. The hook persists a
+	// crash black box (flight-recorder dump plus final metrics snapshot;
+	// see internal/blackbox); reason names the trigger ("crash").
+	Blackbox func(reason string)
 }
 
 // RelayStats are cumulative relay counters, summed across shards.
@@ -538,6 +544,18 @@ func (r *Relay) RegisterMetrics(reg *metrics.Registry) {
 		return agg
 	}
 	dmtp.RegisterBufferMetrics(reg, bufSnap, r.BufferedBytes)
+	// The stash-balance invariant as a gauge: each shard's contribution is
+	// read under one shard-lock hold, so stats and occupancy are mutually
+	// consistent and a healthy engine sums to exactly 0 at any instant.
+	dmtp.RegisterStashImbalance(reg, func() int64 {
+		var imb int64
+		for _, sh := range r.shards {
+			sh.mu.Lock()
+			imb += int64(sh.engStats.BufferedBytes) - int64(sh.engStats.ReleasedBytes) - int64(sh.eng.BufferedBytes())
+			sh.mu.Unlock()
+		}
+		return imb
+	})
 	for i := range r.shards {
 		sh := r.shards[i]
 		dmtp.RegisterShardOccupancy(reg, i, func() int {
@@ -624,6 +642,9 @@ func (r *Relay) Crash() {
 		// the writer's channel; the flush barrier pushes them to disk.
 		r.jset.Flush()
 	}
+	if r.cfg.Blackbox != nil {
+		r.cfg.Blackbox("crash")
+	}
 }
 
 // Restart rebinds the crashed relay on its original address with an
@@ -661,6 +682,29 @@ func (r *Relay) Restart() error {
 		sh.mu.Unlock()
 	}
 	return nil
+}
+
+// Ready reports whether the relay can serve traffic, with a reason when
+// it cannot — the /healthz?probe=ready contract. A relay is not ready
+// from Crash() until Restart() has finished: the journal replay and the
+// socket rebind both happen inside that window, so a journaled restart
+// reports not-ready while the stash is still being rebuilt.
+func (r *Relay) Ready() (bool, string) {
+	if r.Down() {
+		if r.jset != nil {
+			return false, "relay crashed; journal replay pending until restart"
+		}
+		return false, "relay crashed; awaiting restart"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false, "relay closed"
+	}
+	if r.conn == nil {
+		return false, "listen socket not bound"
+	}
+	return true, ""
 }
 
 // Down reports whether the relay is crashed and awaiting Restart.

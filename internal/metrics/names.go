@@ -35,6 +35,12 @@ const (
 	MetricBufNAKMisses      = "dmtp.buf.nak_misses"
 	MetricBufCrashes        = "dmtp.buf.crashes"
 	MetricBufOccupancyBytes = "dmtp.buf.occupancy_bytes"
+	// MetricBufStashImbalance is the stash-balance invariant as a gauge:
+	// cumulative stashed bytes − released bytes − current occupancy,
+	// computed per shard under one shard-lock hold so it is exactly 0 in
+	// a healthy engine at any instant. The monitor's stash-balance
+	// watchdog alerts on any nonzero sample.
+	MetricBufStashImbalance = "dmtp.buf.stash_imbalance_bytes"
 	// MetricBufShardOccupancyPrefix is a gauge family: one occupancy
 	// gauge per buffer shard, e.g. "dmtp.buf.occupancy_bytes.shard0".
 	MetricBufShardOccupancyPrefix = "dmtp.buf.occupancy_bytes.shard"
@@ -50,6 +56,16 @@ const (
 	MetricJournalSegmentsRecycled = "dmtp.journal.segments_recycled"
 	MetricJournalReplayed         = "dmtp.journal.replayed"
 	MetricJournalTruncatedTails   = "dmtp.journal.truncated_tails"
+	// MetricJournalPending is the journal flush lag: records enqueued to
+	// the per-shard writers but not yet written to the segment files.
+	MetricJournalPending = "dmtp.journal.pending"
+	// The dmtp.journal.recovery.* gauges expose the most recent journal
+	// recovery (startup scan or crash replay) summed across shards, so the
+	// monitor's journal-balance watchdog can check appended − tombstoned
+	// == replayed over HTTP.
+	MetricJournalRecoveryAppended   = "dmtp.journal.recovery.appended"
+	MetricJournalRecoveryTombstoned = "dmtp.journal.recovery.tombstoned"
+	MetricJournalRecoveryReplayed   = "dmtp.journal.recovery.replayed"
 
 	// Sender (instrument source) metrics.
 	MetricTxSent           = "dmtp.tx.sent"
@@ -116,6 +132,15 @@ const (
 	// Debug-endpoint self-metrics (internal/debugsrv).
 	MetricDebugRequests = "debug.http_requests"
 	MetricDebugScrapeNs = "debug.scrape_ns"
+
+	// Fleet-monitor self-metrics (internal/monitor), served on the
+	// monitor daemon's own debug endpoint.
+	MetricMonScrapes      = "mon.scrapes"
+	MetricMonScrapeErrors = "mon.scrape_errors"
+	MetricMonTargetsUp    = "mon.targets_up"
+	MetricMonAlertsRaised = "mon.alerts_raised"
+	MetricMonAlertsActive = "mon.alerts_active"
+	MetricMonScrapeNs     = "mon.scrape_ns"
 )
 
 // Info describes one catalogued metric (or, when Name ends in '*', a
@@ -159,6 +184,7 @@ var Catalog = []Info{
 	{MetricBufNAKMisses, KindGauge, "seqs", "NAKed sequence numbers no longer buffered (evicted, trimmed, or lost to a crash)"},
 	{MetricBufCrashes, KindGauge, "events", "buffer crash events (chaos testing / process death)"},
 	{MetricBufOccupancyBytes, KindGauge, "bytes", "current retransmission-buffer occupancy"},
+	{MetricBufStashImbalance, KindGauge, "bytes", "stash accounting imbalance (stashed − released − occupancy, per shard under one lock); nonzero means a buffer byte leak"},
 	{MetricBufShardOccupancyPrefix + "*", KindGauge, "bytes", "current retransmission-buffer occupancy, one gauge per shard"},
 	{MetricJournalAppends, KindGauge, "records", "stash inserts journalled to the write-ahead log"},
 	{MetricJournalAppendBytes, KindGauge, "bytes", "stash payload bytes journalled by those appends"},
@@ -168,6 +194,10 @@ var Catalog = []Info{
 	{MetricJournalSegmentsRecycled, KindGauge, "segments", "fully-trimmed journal segment files deleted"},
 	{MetricJournalReplayed, KindGauge, "records", "stash entries rebuilt from the journal by recovery (startup open plus crash replays)"},
 	{MetricJournalTruncatedTails, KindGauge, "events", "torn final-segment tails truncated during recovery"},
+	{MetricJournalPending, KindGauge, "records", "journal flush lag: records enqueued to the writers but not yet in the segment files"},
+	{MetricJournalRecoveryAppended, KindGauge, "records", "append records scanned by the most recent journal recovery (summed across shards)"},
+	{MetricJournalRecoveryTombstoned, KindGauge, "records", "entry removals applied by the most recent journal recovery (tombstones, trim sweeps, overwrites)"},
+	{MetricJournalRecoveryReplayed, KindGauge, "records", "stash entries the most recent journal recovery rebuilt; appended − tombstoned must equal this"},
 	{MetricTxSent, KindGauge, "packets", "data packets emitted by the sender"},
 	{MetricTxSentBytes, KindGauge, "bytes", "wire bytes emitted by the sender (simulator substrate)"},
 	{MetricTxSendErrors, KindGauge, "errors", "socket writes that failed (live substrate)"},
@@ -206,6 +236,51 @@ var Catalog = []Info{
 	{MetricFlightCapacity, KindGauge, "events", "flight-recorder ring capacity"},
 	{MetricDebugRequests, KindCounter, "requests", "HTTP requests served by the debug endpoint"},
 	{MetricDebugScrapeNs, KindHist, "ns", "time to render one /metrics or /events response"},
+	{MetricMonScrapes, KindCounter, "sweeps", "scrape sweeps completed by the fleet monitor"},
+	{MetricMonScrapeErrors, KindCounter, "errors", "target scrapes that failed (connection refused, bad JSON, timeout)"},
+	{MetricMonTargetsUp, KindGauge, "targets", "targets whose most recent scrape succeeded"},
+	{MetricMonAlertsRaised, KindCounter, "alerts", "invariant alerts ever raised by the watchdogs"},
+	{MetricMonAlertsActive, KindGauge, "alerts", "alerts whose condition held in the most recent scrape window"},
+	{MetricMonScrapeNs, KindHist, "ns", "wall time of one full scrape sweep across all targets"},
+}
+
+// nonMonotone lists the exported metrics that may legitimately decrease
+// between scrapes: instantaneous gauges, latency quantiles, latest-recovery
+// snapshots, and process/monitor state. Everything else in the catalogue is
+// cumulative, which is what the monitor's monotone-counter watchdog relies
+// on.
+var nonMonotone = map[string]bool{
+	MetricRxOutstandingGaps:         true,
+	MetricRxLatencyP50:              true,
+	MetricRxLatencyP99:              true,
+	MetricBufOccupancyBytes:         true,
+	MetricBufStashImbalance:         true,
+	MetricRelayFlowsActive:          true,
+	MetricJournalPending:            true,
+	MetricJournalRecoveryAppended:   true,
+	MetricJournalRecoveryTombstoned: true,
+	MetricJournalRecoveryReplayed:   true,
+	MetricProcGoroutines:            true,
+	MetricProcHeapBytes:             true,
+	MetricMonTargetsUp:              true,
+	MetricMonAlertsActive:           true,
+}
+
+// Monotone reports whether the named metric is expected to never decrease
+// over the lifetime of one process (histogram samples count as monotone:
+// their snapshot value is the observation count). The monitor's
+// monotone-counter watchdog checks only metrics this reports true for,
+// and suspends the check across a detected process restart
+// (proc.uptime_seconds decreasing).
+func Monotone(name string) bool {
+	if nonMonotone[name] {
+		return false
+	}
+	// Per-shard occupancy gauges fluctuate like the aggregate one.
+	if strings.HasPrefix(name, MetricBufShardOccupancyPrefix) {
+		return false
+	}
+	return true
 }
 
 // CatalogCovers reports whether name is documented in Catalog, either

@@ -1,0 +1,112 @@
+package metrics
+
+// Point is one timestamped observation in a Series ring. At is Unix
+// nanoseconds (scrape time on the monitor; whatever clock the producer
+// uses elsewhere).
+type Point struct {
+	At    int64 `json:"at"`
+	Value int64 `json:"value"`
+}
+
+// Series is a fixed-capacity ring of Points — the monitor's per-metric
+// time-series storage. Memory is bounded at construction and Append never
+// allocates (guarded by an AllocsPerRun test), so a monitor scraping
+// thousands of metrics on a tight interval has a flat heap profile.
+//
+// A Series is not safe for concurrent use; the monitor serializes access
+// under its own lock.
+type Series struct {
+	pts  []Point
+	head int // next write index
+	n    int // valid points (≤ cap)
+}
+
+// NewSeries returns a ring holding the most recent capacity points
+// (minimum 1).
+func NewSeries(capacity int) *Series {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Series{pts: make([]Point, capacity)}
+}
+
+// Append records one observation, overwriting the oldest once full.
+func (s *Series) Append(at, value int64) {
+	s.pts[s.head] = Point{At: at, Value: value}
+	s.head++
+	if s.head == len(s.pts) {
+		s.head = 0
+	}
+	if s.n < len(s.pts) {
+		s.n++
+	}
+}
+
+// Len returns the number of retained points.
+func (s *Series) Len() int { return s.n }
+
+// Cap returns the ring capacity.
+func (s *Series) Cap() int { return len(s.pts) }
+
+// Last returns the most recent point, or ok == false on an empty series.
+func (s *Series) Last() (Point, bool) {
+	if s.n == 0 {
+		return Point{}, false
+	}
+	i := s.head - 1
+	if i < 0 {
+		i = len(s.pts) - 1
+	}
+	return s.pts[i], true
+}
+
+// Prev returns the point recorded i appends before the latest (Prev(0) ==
+// Last), or ok == false when the ring does not reach that far back.
+func (s *Series) Prev(i int) (Point, bool) {
+	if i < 0 || i >= s.n {
+		return Point{}, false
+	}
+	idx := s.head - 1 - i
+	for idx < 0 {
+		idx += len(s.pts)
+	}
+	return s.pts[idx], true
+}
+
+// Points appends up to n of the most recent points to dst, oldest first,
+// and returns the extended slice (n ≤ 0 means all retained points).
+// Passing a reusable dst with sufficient capacity keeps the dump
+// allocation-free.
+func (s *Series) Points(dst []Point, n int) []Point {
+	if n <= 0 || n > s.n {
+		n = s.n
+	}
+	start := s.head - n
+	for start < 0 {
+		start += len(s.pts)
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, s.pts[(start+i)%len(s.pts)])
+	}
+	return dst
+}
+
+// Rate returns the per-second rate of change across the most recent span
+// points (span ≥ 1; clamped to the retained history): (last − first) /
+// elapsed seconds. ok is false when fewer than two points exist or no
+// time elapsed between them.
+func (s *Series) Rate(span int) (perSec float64, ok bool) {
+	if s.n < 2 {
+		return 0, false
+	}
+	if span < 1 || span >= s.n {
+		span = s.n - 1
+	}
+	last, _ := s.Prev(0)
+	first, _ := s.Prev(span)
+	dt := last.At - first.At
+	if dt <= 0 {
+		return 0, false
+	}
+	return float64(last.Value-first.Value) / (float64(dt) / 1e9), true
+}

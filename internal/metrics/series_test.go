@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries(4)
+	if s.Len() != 0 || s.Cap() != 4 {
+		t.Fatalf("Len=%d Cap=%d, want 0/4", s.Len(), s.Cap())
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatalf("Last on empty series reported ok")
+	}
+	if _, ok := s.Rate(5); ok {
+		t.Fatalf("Rate on empty series reported ok")
+	}
+	if pts := s.Points(nil, 0); len(pts) != 0 {
+		t.Fatalf("Points on empty series = %v", pts)
+	}
+}
+
+func TestSeriesWraparound(t *testing.T) {
+	s := NewSeries(3)
+	for i := int64(1); i <= 5; i++ {
+		s.Append(i*1000, i*10)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	// Ring of 3 after 5 appends holds points 3, 4, 5 (oldest first).
+	pts := s.Points(nil, 0)
+	want := []Point{{3000, 30}, {4000, 40}, {5000, 50}}
+	if len(pts) != len(want) {
+		t.Fatalf("Points = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("Points[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if last, _ := s.Last(); (last != Point{5000, 50}) {
+		t.Fatalf("Last = %v", last)
+	}
+	if prev, _ := s.Prev(1); (prev != Point{4000, 40}) {
+		t.Fatalf("Prev(1) = %v", prev)
+	}
+	if _, ok := s.Prev(3); ok {
+		t.Fatalf("Prev beyond retained history reported ok")
+	}
+	// n smaller than Len keeps only the most recent n, still oldest first.
+	pts = s.Points(pts[:0], 2)
+	if len(pts) != 2 || pts[0] != want[1] || pts[1] != want[2] {
+		t.Fatalf("Points(n=2) = %v", pts)
+	}
+}
+
+func TestSeriesRate(t *testing.T) {
+	s := NewSeries(8)
+	// 100 units over 2 seconds → 50/s.
+	s.Append(0, 0)
+	s.Append(1e9, 40)
+	s.Append(2e9, 100)
+	r, ok := s.Rate(3)
+	if !ok || r != 50 {
+		t.Fatalf("Rate = %v ok=%v, want 50", r, ok)
+	}
+	// Span clamped to available history.
+	r, ok = s.Rate(100)
+	if !ok || r != 50 {
+		t.Fatalf("Rate(clamped) = %v ok=%v, want 50", r, ok)
+	}
+	// Span 1 differentiates only the last step: 60 units over 1 s.
+	r, ok = s.Rate(1)
+	if !ok || r != 60 {
+		t.Fatalf("Rate(1) = %v ok=%v, want 60", r, ok)
+	}
+	// Zero elapsed time cannot produce a rate.
+	z := NewSeries(4)
+	z.Append(5, 1)
+	z.Append(5, 2)
+	if _, ok := z.Rate(2); ok {
+		t.Fatalf("Rate over zero elapsed time reported ok")
+	}
+}
+
+// TestSeriesAppendAllocs gates the monitor's per-tick hot path: appending
+// into an existing ring must never allocate, including after wraparound.
+func TestSeriesAppendAllocs(t *testing.T) {
+	s := NewSeries(64)
+	var at int64
+	if n := testing.AllocsPerRun(1000, func() {
+		at++
+		s.Append(at, at*3)
+	}); n != 0 {
+		t.Fatalf("Series.Append allocates %v times per run", n)
+	}
+}
+
+// TestSeriesPointsAllocs gates the /series read path with a reused
+// destination slice.
+func TestSeriesPointsAllocs(t *testing.T) {
+	s := NewSeries(64)
+	for i := int64(0); i < 200; i++ {
+		s.Append(i, i)
+	}
+	dst := make([]Point, 0, 64)
+	if n := testing.AllocsPerRun(1000, func() {
+		dst = s.Points(dst[:0], 0)
+	}); n != 0 {
+		t.Fatalf("Series.Points allocates %v times per run with reused dst", n)
+	}
+}

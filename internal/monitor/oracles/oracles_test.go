@@ -1,0 +1,114 @@
+package oracles
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func samples(kv map[string]int64) []metrics.Sample {
+	out := make([]metrics.Sample, 0, len(kv))
+	for name, v := range kv {
+		out = append(out, metrics.Sample{Name: name, Kind: metrics.KindGauge, Value: v})
+	}
+	return out
+}
+
+func TestPredicates(t *testing.T) {
+	if !StashBalanced(100, 60, 40) {
+		t.Error("balanced stash reported unbalanced")
+	}
+	if StashBalanced(100, 60, 39) {
+		t.Error("leaked byte not detected")
+	}
+	if !ReplayBalanced(10, 3, 7) {
+		t.Error("balanced replay reported unbalanced")
+	}
+	if ReplayBalanced(10, 3, 6) {
+		t.Error("dropped replay record not detected")
+	}
+}
+
+func TestStashBalanceSamples(t *testing.T) {
+	if f := StashBalance(samples(map[string]int64{metrics.MetricBufStashImbalance: 0})); f != nil {
+		t.Errorf("zero imbalance produced findings: %v", f)
+	}
+	// No buffer at all (sender/receiver): no gauge, no finding.
+	if f := StashBalance(samples(map[string]int64{"other": 5})); f != nil {
+		t.Errorf("absent gauge produced findings: %v", f)
+	}
+	f := StashBalance(samples(map[string]int64{metrics.MetricBufStashImbalance: -4096}))
+	if len(f) != 1 || f[0].Check != "stash-balance" {
+		t.Fatalf("imbalance findings = %v", f)
+	}
+	if !strings.Contains(f[0].Detail, "-4096") {
+		t.Errorf("detail lacks the number: %q", f[0].Detail)
+	}
+}
+
+func TestJournalReplayBalanceSamples(t *testing.T) {
+	balanced := map[string]int64{
+		metrics.MetricJournalRecoveryAppended:   10,
+		metrics.MetricJournalRecoveryTombstoned: 3,
+		metrics.MetricJournalRecoveryReplayed:   7,
+	}
+	if f := JournalReplayBalance(samples(balanced)); f != nil {
+		t.Errorf("balanced recovery produced findings: %v", f)
+	}
+	balanced[metrics.MetricJournalRecoveryReplayed] = 5
+	f := JournalReplayBalance(samples(balanced))
+	if len(f) != 1 || f[0].Check != "journal-replay-balance" {
+		t.Fatalf("imbalanced recovery findings = %v", f)
+	}
+	// A journal-less daemon exports none of the three gauges and passes.
+	if f := JournalReplayBalance(samples(map[string]int64{metrics.MetricJournalRecoveryAppended: 1})); f != nil {
+		t.Errorf("partial gauge set produced findings: %v", f)
+	}
+}
+
+func TestCounterMonotone(t *testing.T) {
+	prev := samples(map[string]int64{
+		metrics.MetricRxDelivered:       100,
+		metrics.MetricRxOutstandingGaps: 9, // gauge: may go down freely
+	})
+	cur := samples(map[string]int64{
+		metrics.MetricRxDelivered:       95, // regression
+		metrics.MetricRxOutstandingGaps: 2,
+	})
+	f := CounterMonotone(prev, cur)
+	if len(f) != 1 || f[0].Check != "monotone-counter" {
+		t.Fatalf("findings = %v", f)
+	}
+	if !strings.HasPrefix(f[0].Detail, metrics.MetricRxDelivered+" ") {
+		t.Errorf("detail must lead with the metric name: %q", f[0].Detail)
+	}
+	// nil prev (first scrape or across a restart) suppresses the check.
+	if f := CounterMonotone(nil, cur); f != nil {
+		t.Errorf("nil prev produced findings: %v", f)
+	}
+	// Equal and increasing values pass.
+	if f := CounterMonotone(cur, cur); f != nil {
+		t.Errorf("steady counters produced findings: %v", f)
+	}
+}
+
+func TestCheckRunsAllWatchdogs(t *testing.T) {
+	prev := samples(map[string]int64{metrics.MetricRxDelivered: 10})
+	cur := samples(map[string]int64{
+		metrics.MetricRxDelivered:               5,
+		metrics.MetricBufStashImbalance:         64,
+		metrics.MetricJournalRecoveryAppended:   4,
+		metrics.MetricJournalRecoveryTombstoned: 0,
+		metrics.MetricJournalRecoveryReplayed:   3,
+	})
+	got := map[string]bool{}
+	for _, f := range Check(prev, cur) {
+		got[f.Check] = true
+	}
+	for _, want := range []string{"stash-balance", "journal-replay-balance", "monotone-counter"} {
+		if !got[want] {
+			t.Errorf("Check missed %s (got %v)", want, got)
+		}
+	}
+}
